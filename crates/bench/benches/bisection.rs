@@ -1,0 +1,26 @@
+//! Criterion: end-to-end multilevel bisection across workload classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::{grid2d_9pt, hierarchical_lp, powerlaw, tet_mesh3d};
+use mlgp_part::{bisect, MlConfig};
+use std::hint::black_box;
+
+fn bench_bisection(c: &mut Criterion) {
+    let workloads = [
+        ("tet_8k", tet_mesh3d(20, 20, 20, 1)),
+        ("cfd_10k", grid2d_9pt(100, 100, false)),
+        ("circuit_10k", powerlaw(10_000, 3, 2)),
+        ("lp_8k", hierarchical_lp(64, 128, 3)),
+    ];
+    let mut group = c.benchmark_group("bisect");
+    group.sample_size(20);
+    for (name, g) in &workloads {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(bisect(g, &MlConfig::default()).cut))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisection);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: geometric partitioners vs multilevel on an embedded mesh —
+//! the speed side of §1's "geometric methods tend to be fast".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_geom::{inertial_partition, rcb_partition, sphere_kway, SphereConfig};
+use mlgp_graph::generators::{tri_mesh2d, tri_mesh2d_coords};
+use mlgp_part::{kway_partition, MlConfig};
+use std::hint::black_box;
+
+fn bench_geometric(c: &mut Criterion) {
+    let g = tri_mesh2d(64, 64, 11);
+    let pts = tri_mesh2d_coords(64, 64, 11);
+    let mut group = c.benchmark_group("geom_4k_tri_k16");
+    group.sample_size(20);
+    group.bench_function("rcb", |b| {
+        b.iter(|| black_box(rcb_partition(&pts, g.vwgt(), 16)))
+    });
+    group.bench_function("inertial", |b| {
+        b.iter(|| black_box(inertial_partition(&pts, g.vwgt(), 16)))
+    });
+    group.bench_function("random_separators", |b| {
+        b.iter(|| black_box(sphere_kway(&g, &pts, 16, &SphereConfig::default())))
+    });
+    group.bench_function("multilevel", |b| {
+        b.iter(|| black_box(kway_partition(&g, 16, &MlConfig::default()).edge_cut))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geometric);
+criterion_main!(benches);

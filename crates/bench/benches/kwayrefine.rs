@@ -1,0 +1,27 @@
+//! Criterion: the direct k-way greedy sweep (extension) — cost of a sweep
+//! vs the whole recursive-bisection pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::tet_mesh3d;
+use mlgp_part::{kway_partition, kway_refine_greedy, KwayRefineOptions, MlConfig};
+use std::hint::black_box;
+
+fn bench_kwayrefine(c: &mut Criterion) {
+    let g = tet_mesh3d(16, 16, 16, 3);
+    let base = kway_partition(&g, 32, &MlConfig::default());
+    let mut group = c.benchmark_group("kway_refine_4k_tet");
+    group.sample_size(20);
+    group.bench_function("greedy_sweep", |b| {
+        b.iter(|| {
+            let mut part = base.part.clone();
+            black_box(kway_refine_greedy(&g, &mut part, 32, &KwayRefineOptions::default()))
+        })
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| black_box(kway_partition(&g, 32, &MlConfig::default()).edge_cut))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kwayrefine);
+criterion_main!(benches);

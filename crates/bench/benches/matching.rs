@@ -1,0 +1,26 @@
+//! Criterion: the four matching schemes on a mid-size FEM mesh (§3.1,
+//! the CTime column of Table 2 at kernel granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::tet_mesh3d;
+use mlgp_graph::rng::seeded;
+use mlgp_part::{compute_matching, MatchingScheme};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let g = tet_mesh3d(20, 20, 20, 7);
+    let cewgt = vec![0; g.n()];
+    let mut group = c.benchmark_group("matching_8k_tet");
+    for scheme in MatchingScheme::all() {
+        group.bench_function(scheme.abbrev(), |b| {
+            b.iter(|| {
+                let mut rng = seeded(3);
+                black_box(compute_matching(&g, scheme, &cewgt, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

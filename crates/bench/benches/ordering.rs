@@ -1,0 +1,24 @@
+//! Criterion: fill-reducing orderings (MLND vs MMD vs SND) on a 3D
+//! stiffness graph (§4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::stiffness3d;
+use mlgp_order::{analyze_ordering, mlnd_order, mmd_order, snd_order};
+use std::hint::black_box;
+
+fn bench_ordering(c: &mut Criterion) {
+    let g = stiffness3d(12, 12, 12);
+    let mut group = c.benchmark_group("order_1.7k_stiffness");
+    group.sample_size(10);
+    group.bench_function("mlnd", |b| b.iter(|| black_box(mlnd_order(&g))));
+    group.bench_function("mmd", |b| b.iter(|| black_box(mmd_order(&g))));
+    group.bench_function("snd", |b| b.iter(|| black_box(snd_order(&g))));
+    let p = mlnd_order(&g);
+    group.bench_function("symbolic_analysis", |b| {
+        b.iter(|| black_box(analyze_ordering(&g, &p)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: the five refinement policies applied to a projected partition
+//! (§3.3, the RTime column of Table 4 at kernel granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::tet_mesh3d;
+use mlgp_part::refine::{refine_level, BalanceTargets, BisectState};
+use mlgp_part::{bisect, MlConfig, RefinementPolicy};
+use std::hint::black_box;
+
+fn bench_refinement(c: &mut Criterion) {
+    let g = tet_mesh3d(16, 16, 16, 9);
+    // A deliberately unrefined starting partition: multilevel with no
+    // refinement, i.e. the projected coarse partition.
+    let start = bisect(
+        &g,
+        &MlConfig {
+            refinement: RefinementPolicy::None,
+            ..MlConfig::default()
+        },
+    )
+    .part;
+    let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
+    let cfg = MlConfig::default();
+    let mut group = c.benchmark_group("refine_4k_tet");
+    for policy in RefinementPolicy::evaluated() {
+        group.bench_function(policy.abbrev(), |b| {
+            b.iter(|| {
+                let mut s = BisectState::new(&g, start.clone());
+                refine_level(&mut s, &bt, policy, &cfg, g.n());
+                black_box(s.cut)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion: edge-separator → vertex-separator conversion (Hopcroft-Karp +
+//! König) on bisected meshes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlgp_graph::generators::{stiffness3d, tri_mesh2d};
+use mlgp_order::vertex_separator;
+use mlgp_part::{bisect, MlConfig};
+use std::hint::black_box;
+
+fn bench_vcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_separator");
+    for (name, g) in [
+        ("tri_10k", tri_mesh2d(100, 100, 1)),
+        ("stiff_8k", stiffness3d(20, 20, 20)),
+    ] {
+        let part = bisect(&g, &MlConfig::default()).part;
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(vertex_separator(&g, &part)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vcover);
+criterion_main!(benches);

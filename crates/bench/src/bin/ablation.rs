@@ -1,0 +1,86 @@
+//! Ablations over the design constants the paper fixes: the KL early-exit
+//! parameter `x` (= 50), the coarsening threshold (|Vm| < 100), and the
+//! BKLGR boundary switch fraction (2%).
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin ablation [--scale F] [--keys A,B]
+//! ```
+
+use mlgp_bench::{group_thousands, timed, BenchOpts};
+use mlgp_part::{kway_partition, MlConfig};
+
+fn run(opts: &BenchOpts, keys: &[&str], label: &str, configs: &[(String, MlConfig)]) {
+    println!("--- {label} ---");
+    print!("{:<6}", "");
+    for (name, _) in configs {
+        print!("{:>12} {:>7}", name, "time");
+    }
+    println!();
+    for key in keys {
+        let (_, g) = opts.graph(key);
+        print!("{key:<6}");
+        for (_, cfg) in configs {
+            let (r, secs) = timed(|| kway_partition(&g, 32, cfg));
+            print!("{:>12} {:>7.2}", group_thousands(r.edge_cut), secs);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Design-constant ablations (32-way, HEM + GGGP + BKLGR)");
+    let default_rows = ["4ELT", "BC31", "BRCK", "COPT"];
+    let keys: Vec<&str> = opts.select(&default_rows);
+
+    // (a) early-exit x.
+    let configs: Vec<(String, MlConfig)> = [5, 25, 50, 200]
+        .into_iter()
+        .map(|x| {
+            (
+                format!("x={x}"),
+                MlConfig {
+                    early_exit_moves: x,
+                    ..MlConfig::default()
+                },
+            )
+        })
+        .collect();
+    run(&opts, &keys, "KL early-exit parameter x (paper: 50)", &configs);
+
+    // (b) coarsening threshold.
+    let configs: Vec<(String, MlConfig)> = [25, 100, 400, 1600]
+        .into_iter()
+        .map(|c| {
+            (
+                format!("to={c}"),
+                MlConfig {
+                    coarsen_to: c,
+                    ..MlConfig::default()
+                },
+            )
+        })
+        .collect();
+    run(&opts, &keys, "coarsening threshold |Vm| (paper: 100)", &configs);
+
+    // (c) BKLGR switch fraction.
+    let configs: Vec<(String, MlConfig)> = [0.0, 0.02, 0.10, 1.0]
+        .into_iter()
+        .map(|f| {
+            (
+                format!("f={f}"),
+                MlConfig {
+                    hybrid_boundary_frac: f,
+                    ..MlConfig::default()
+                },
+            )
+        })
+        .collect();
+    run(
+        &opts,
+        &keys,
+        "BKLGR switch fraction (paper: 0.02; 0 = pure BGR, 1 = pure BKLR)",
+        &configs,
+    );
+}

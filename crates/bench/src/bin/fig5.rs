@@ -1,0 +1,50 @@
+//! Figure 5 — quality of MLND relative to multiple minimum degree (MMD)
+//! and spectral nested dissection (SND): factorization operation counts,
+//! displayed as `MMD/MLND` and `SND/MLND` ratios (bars above 1.0 mean MLND
+//! is better, matching the paper's baseline-at-MLND rendering).
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin fig5 [--scale F] [--keys A,B]
+//! ```
+
+use mlgp_bench::{ratio_bar, timed, BenchOpts};
+use mlgp_graph::generators::fig5_rows;
+use mlgp_order::{analyze_ordering, mlnd_order, mmd_order, snd_order};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Figure 5: MLND ordering quality vs MMD and SND (opcount ratios; >1 = MLND better)");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>9} {:>9}   0 ..... 1 ..... 2  (MMD/MLND)",
+        "key", "MLND ops", "MMD ops", "SND ops", "MMD/MLND", "SND/MLND"
+    );
+    let mut tot = [0.0f64; 3];
+    for key in opts.select(&fig5_rows()) {
+        let (_, g) = opts.graph(key);
+        let (pm, _) = timed(|| mlnd_order(&g));
+        let mlnd = analyze_ordering(&g, &pm);
+        let (pd, _) = timed(|| mmd_order(&g));
+        let mmd = analyze_ordering(&g, &pd);
+        let (ps, _) = timed(|| snd_order(&g));
+        let snd = analyze_ordering(&g, &ps);
+        let r_mmd = mmd.opcount / mlnd.opcount;
+        let r_snd = snd.opcount / mlnd.opcount;
+        tot[0] += mlnd.opcount;
+        tot[1] += mmd.opcount;
+        tot[2] += snd.opcount;
+        println!(
+            "{:<6} {:>12.3e} {:>12.3e} {:>12.3e} {:>9.2} {:>9.2}   [{}]",
+            key, mlnd.opcount, mmd.opcount, snd.opcount, r_mmd, r_snd,
+            ratio_bar(r_mmd, 30)
+        );
+    }
+    println!(
+        "\ntotals: MLND {:.3e}, MMD {:.3e} ({:.2}x), SND {:.3e} ({:.2}x)",
+        tot[0],
+        tot[1],
+        tot[1] / tot[0],
+        tot[2],
+        tot[2] / tot[0]
+    );
+    println!("(paper totals: MMD 702e9 vs MLND 293e9 = 2.4x; SND 378e9 = 1.3x)");
+}

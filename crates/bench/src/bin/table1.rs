@@ -1,0 +1,35 @@
+//! Table 1 — the workload suite: paper matrices and our synthetic stand-ins.
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin table1 [--scale F]
+//! ```
+
+use mlgp_bench::{group_thousands, BenchOpts};
+use mlgp_graph::generators::suite;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Table 1: matrices used in evaluating the algorithms");
+    println!(
+        "{:<6} {:<12} {:>9} {:>11} {:>9} {:>11}  description",
+        "key", "paper name", "order", "nonzeros", "our n", "our nnz"
+    );
+    for e in suite() {
+        if let Some(keys) = &opts.keys {
+            if !keys.iter().any(|k| k == e.key) {
+                continue;
+            }
+        }
+        let g = e.generate_scaled(opts.scale);
+        println!(
+            "{:<6} {:<12} {:>9} {:>11} {:>9} {:>11}  {}",
+            e.key,
+            e.paper_name,
+            group_thousands(e.paper_order as i64),
+            group_thousands(e.paper_nonzeros as i64),
+            group_thousands(g.n() as i64),
+            group_thousands(g.nnz() as i64),
+            e.description
+        );
+    }
+}

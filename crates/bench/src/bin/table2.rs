@@ -1,0 +1,45 @@
+//! Table 2 — matching schemes during coarsening: 32-way edge-cut, CTime and
+//! UTime for RM / HEM / LEM / HCM (GGGP initial partitioning and BKLGR
+//! refinement fixed, as in the paper).
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin table2 [--scale F] [--keys A,B]
+//! ```
+
+use mlgp_bench::{group_thousands, timed, BenchOpts};
+use mlgp_graph::generators::table_rows;
+use mlgp_part::{kway_partition, MatchingScheme, MlConfig};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Table 2: performance of matching schemes (32-way, GGGP + BKLGR)");
+    print!("{:<6}", "");
+    for m in MatchingScheme::all() {
+        print!("{:>12} {:>7} {:>7}", m.abbrev(), "", "");
+    }
+    println!();
+    print!("{:<6}", "");
+    for _ in MatchingScheme::all() {
+        print!("{:>12} {:>7} {:>7}", "32EC", "CTime", "UTime");
+    }
+    println!();
+    for key in opts.select(&table_rows()) {
+        let (_, g) = opts.graph(key);
+        print!("{key:<6}");
+        for m in MatchingScheme::all() {
+            let cfg = MlConfig {
+                matching: m,
+                ..MlConfig::default()
+            };
+            let (r, _) = timed(|| kway_partition(&g, 32, &cfg));
+            print!(
+                "{:>12} {:>7.2} {:>7.2}",
+                group_thousands(r.edge_cut),
+                r.times.coarsen.as_secs_f64(),
+                r.times.uncoarsen().as_secs_f64()
+            );
+        }
+        println!();
+    }
+    println!("\nUTime = ITime + RTime + PTime, summed over all bisections of the recursion.");
+}

@@ -1,0 +1,40 @@
+//! Table 3 — 32-way edge-cut with **no refinement**, per matching scheme:
+//! isolates how good each coarsening is on its own (HEM's selling point —
+//! the coarse partition is already within a small factor of the final one).
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin table3 [--scale F] [--keys A,B]
+//! ```
+
+use mlgp_bench::{group_thousands, BenchOpts};
+use mlgp_graph::generators::table_rows;
+use mlgp_part::{kway_partition, MatchingScheme, MlConfig, RefinementPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Table 3: 32-way edge-cut when no refinement is performed");
+    print!("{:<6}", "");
+    for m in MatchingScheme::all() {
+        print!("{:>12}", m.abbrev());
+    }
+    println!("{:>12}", "HEM+BKLGR");
+    for key in opts.select(&table_rows()) {
+        let (_, g) = opts.graph(key);
+        print!("{key:<6}");
+        for m in MatchingScheme::all() {
+            let cfg = MlConfig {
+                matching: m,
+                refinement: RefinementPolicy::None,
+                ..MlConfig::default()
+            };
+            let r = kway_partition(&g, 32, &cfg);
+            print!("{:>12}", group_thousands(r.edge_cut));
+        }
+        // Reference column: the refined result, to show the "small factor"
+        // claim for HEM.
+        let refined = kway_partition(&g, 32, &MlConfig::default());
+        println!("{:>12}", group_thousands(refined.edge_cut));
+    }
+    println!("\nLast column: HEM with BKLGR refinement, for the paper's 'within a small");
+    println!("factor of the final partition' comparison.");
+}

@@ -1,0 +1,39 @@
+//! Table 4 — refinement policies: 32-way edge-cut and refinement time for
+//! GR / KLR / BGR / BKLR / BKLGR (HEM coarsening and GGGP initial
+//! partitioning fixed, as in the paper).
+//!
+//! ```sh
+//! cargo run --release -p mlgp-bench --bin table4 [--scale F] [--keys A,B]
+//! ```
+
+use mlgp_bench::{group_thousands, BenchOpts};
+use mlgp_graph::generators::table_rows;
+use mlgp_part::{kway_partition, MlConfig, RefinementPolicy};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    opts.banner("Table 4: performance of refinement policies (32-way, HEM + GGGP)");
+    print!("{:<6}", "");
+    for r in RefinementPolicy::evaluated() {
+        print!("{:>12} {:>7}", r.abbrev(), "RTime");
+    }
+    println!();
+    for key in opts.select(&table_rows()) {
+        let (_, g) = opts.graph(key);
+        print!("{key:<6}");
+        for policy in RefinementPolicy::evaluated() {
+            let cfg = MlConfig {
+                refinement: policy,
+                ..MlConfig::default()
+            };
+            let r = kway_partition(&g, 32, &cfg);
+            print!(
+                "{:>12} {:>7.2}",
+                group_thousands(r.edge_cut),
+                r.times.refine.as_secs_f64()
+            );
+        }
+        println!();
+    }
+    println!("\nRTime is the refinement phase only, summed over all bisections.");
+}

@@ -1,0 +1,241 @@
+//! # mlgp-bench
+//!
+//! Reproduction harness for the paper's evaluation (§4): one binary per
+//! table/figure (see DESIGN.md §5) plus shared helpers, and Criterion
+//! micro-benchmarks for the kernels.
+//!
+//! Every binary accepts `--scale F` (default 1.0) which shrinks each
+//! workload to `F ×` its paper size — the figures involving the spectral
+//! baselines are expensive at full scale, exactly as the paper reports
+//! (MSB is the 10-35× slower method). `--keys A,B,C` restricts the rows.
+
+use mlgp_graph::generators::{entry, SuiteEntry};
+use mlgp_graph::CsrGraph;
+use std::time::Instant;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Workload scale factor (1.0 = paper size).
+    pub scale: f64,
+    /// Optional row restriction.
+    pub keys: Option<Vec<String>>,
+    /// Override part counts (figures).
+    pub parts: Option<Vec<usize>>,
+}
+
+impl BenchOpts {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut scale = 1.0;
+        let mut keys = None;
+        let mut parts = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    scale = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--scale needs a number");
+                    i += 2;
+                }
+                "--keys" => {
+                    keys = Some(
+                        args.get(i + 1)
+                            .expect("--keys needs a list")
+                            .split(',')
+                            .map(|s| s.trim().to_uppercase())
+                            .collect(),
+                    );
+                    i += 2;
+                }
+                "--parts" => {
+                    parts = Some(
+                        args.get(i + 1)
+                            .expect("--parts needs a list")
+                            .split(',')
+                            .map(|s| s.trim().parse().expect("bad part count"))
+                            .collect(),
+                    );
+                    i += 2;
+                }
+                other => {
+                    panic!("unknown option {other} (use --scale F, --keys A,B, --parts 64,128)")
+                }
+            }
+        }
+        Self { scale, keys, parts }
+    }
+
+    /// Filter a row list by `--keys`.
+    pub fn select<'a>(&self, rows: &[&'a str]) -> Vec<&'a str> {
+        match &self.keys {
+            None => rows.to_vec(),
+            Some(keys) => rows
+                .iter()
+                .copied()
+                .filter(|r| keys.iter().any(|k| k == r))
+                .collect(),
+        }
+    }
+
+    /// Generate the (scaled) graph for a suite key.
+    pub fn graph(&self, key: &str) -> (&'static SuiteEntry, CsrGraph) {
+        let e = entry(key).unwrap_or_else(|| panic!("unknown suite key {key}"));
+        (e, e.generate_scaled(self.scale))
+    }
+
+    /// Banner line describing the run.
+    pub fn banner(&self, what: &str) {
+        println!("== {what} ==");
+        println!(
+            "scale = {} (1.0 reproduces the paper's graph sizes); times are wall-clock seconds",
+            self.scale
+        );
+        println!();
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Format a count with thousands grouping for table readability.
+pub fn group_thousands(x: i64) -> String {
+    let s = x.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if x < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Fixed-width ASCII bar for terminal-rendered ratio "figures": 1.0 sits at
+/// the midpoint marker, values are clamped to [0, 2].
+pub fn ratio_bar(ratio: f64, width: usize) -> String {
+    let clamped = ratio.clamp(0.0, 2.0);
+    let fill = ((clamped / 2.0) * width as f64).round() as usize;
+    let mut chars: Vec<char> = (0..width)
+        .map(|i| if i < fill.min(width) { '#' } else { ' ' })
+        .collect();
+    let mid = width / 2;
+    if chars[mid] == ' ' {
+        chars[mid] = '|';
+    }
+    chars.into_iter().collect()
+}
+
+/// Shared driver for Figures 1-3: for each figure row and each part count,
+/// print the ratio of our multilevel edge-cut to a baseline's, with an
+/// ASCII bar (below 1.0 = we win, matching the paper's rendering).
+pub fn run_quality_figure(
+    opts: &BenchOpts,
+    baseline_name: &str,
+    baseline: &dyn Fn(&CsrGraph, usize, u64) -> Vec<u32>,
+) {
+    use mlgp_part::{edge_cut_kway, kway_partition, MlConfig};
+    opts.banner(&format!(
+        "edge-cut of our multilevel algorithm relative to {baseline_name} (bars under the | baseline mean we win)"
+    ));
+    let parts = opts.parts.clone().unwrap_or_else(|| vec![64, 128, 256]);
+    println!("{:<6} {:>6} {:>10} {:>10} {:>7}  0 ..... 1 ..... 2", "key", "k", "ours", baseline_name, "ratio");
+    let rows = opts.select(&mlgp_graph::generators::figure_rows());
+    let mut product = 1.0f64;
+    let mut count = 0usize;
+    for key in rows {
+        let (_, g) = opts.graph(key);
+        for &k in &parts {
+            let ours = kway_partition(&g, k, &MlConfig::default()).edge_cut;
+            let base_part = baseline(&g, k, 0xf15);
+            let base = edge_cut_kway(&g, &base_part);
+            let ratio = if base > 0 { ours as f64 / base as f64 } else { f64::NAN };
+            if ratio.is_finite() {
+                product *= ratio;
+                count += 1;
+            }
+            println!(
+                "{:<6} {:>6} {:>10} {:>10} {:>7.3}  [{}]",
+                key,
+                k,
+                group_thousands(ours),
+                group_thousands(base),
+                ratio,
+                ratio_bar(ratio, 34)
+            );
+        }
+    }
+    if count > 0 {
+        println!(
+            "\ngeometric-mean ratio over {count} bars: {:.3} (paper: consistently < 1)",
+            product.powf(1.0 / count as f64)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(1234567), "1,234,567");
+        assert_eq!(group_thousands(-4200), "-4,200");
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn bars_have_fixed_width() {
+        for r in [0.0, 0.5, 1.0, 1.5, 2.0, 9.0] {
+            assert_eq!(ratio_bar(r, 40).len(), 40);
+        }
+    }
+
+    #[test]
+    fn select_filters() {
+        let opts = BenchOpts {
+            scale: 1.0,
+            keys: Some(vec!["4ELT".into()]),
+            parts: None,
+        };
+        assert_eq!(opts.select(&["BC31", "4ELT"]), vec!["4ELT"]);
+        let all = BenchOpts {
+            scale: 1.0,
+            keys: None,
+            parts: None,
+        };
+        assert_eq!(all.select(&["A", "B"]), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn graph_lookup_scales() {
+        let opts = BenchOpts {
+            scale: 0.02,
+            keys: None,
+            parts: None,
+        };
+        let (e, g) = opts.graph("LS34");
+        assert_eq!(e.key, "LS34");
+        assert!(g.n() < e.paper_order);
+    }
+}

@@ -1,0 +1,134 @@
+//! Coordinate embeddings for the mesh generators.
+//!
+//! Geometric partitioning algorithms (§1 of the paper) need vertex
+//! coordinates. The mesh-class generators are grid-derived, so their
+//! natural embeddings are the (jittered) lattice positions produced here;
+//! the jitter is seeded so embeddings are deterministic. Network- and
+//! circuit-class graphs (power-law, LP) deliberately have *no* embedding —
+//! that is exactly the limitation of geometric methods the paper points
+//! out.
+
+use crate::rng::seeded;
+use rand::RngExt;
+
+/// A 3D point (z = 0 for planar embeddings).
+pub type Point = [f64; 3];
+
+/// Lattice coordinates for [`super::grid2d`] / [`super::grid2d_9pt`]
+/// (row-major, matching vertex ids).
+pub fn grid2d_coords(nx: usize, ny: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            pts.push([x as f64, y as f64, 0.0]);
+        }
+    }
+    pts
+}
+
+/// Lattice coordinates for [`super::grid3d`] / [`super::stiffness3d`].
+pub fn grid3d_coords(nx: usize, ny: usize, nz: usize) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                pts.push([x as f64, y as f64, z as f64]);
+            }
+        }
+    }
+    pts
+}
+
+/// Jittered lattice for [`super::tri_mesh2d`]: lattice positions plus a
+/// seeded perturbation of up to ±0.35 per axis (keeps the triangulation
+/// roughly Delaunay-like without flipping cells).
+pub fn tri_mesh2d_coords(nx: usize, ny: usize, seed: u64) -> Vec<Point> {
+    let mut rng = seeded(seed ^ 0xc003d5);
+    let mut pts = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            pts.push([
+                x as f64 + rng.random_range(-0.35..0.35),
+                y as f64 + rng.random_range(-0.35..0.35),
+                0.0,
+            ]);
+        }
+    }
+    pts
+}
+
+/// Jittered lattice for [`super::tet_mesh3d`].
+pub fn tet_mesh3d_coords(nx: usize, ny: usize, nz: usize, seed: u64) -> Vec<Point> {
+    let mut rng = seeded(seed ^ 0xc003d5);
+    let mut pts = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                pts.push([
+                    x as f64 + rng.random_range(-0.3..0.3),
+                    y as f64 + rng.random_range(-0.3..0.3),
+                    z as f64 + rng.random_range(-0.3..0.3),
+                ]);
+            }
+        }
+    }
+    pts
+}
+
+/// Coordinates for [`super::lshape`]: positions of the kept lattice points,
+/// in the generator's vertex order.
+pub fn lshape_coords(n: usize) -> Vec<Point> {
+    let half = n / 2;
+    let mut pts = Vec::new();
+    for y in 0..n {
+        for x in 0..n {
+            if !(x >= half && y >= half) {
+                pts.push([x as f64, y as f64, 0.0]);
+            }
+        }
+    }
+    pts
+}
+
+/// Coordinates for [`super::roadnet`]: the underlying lattice.
+pub fn roadnet_coords(nx: usize, ny: usize) -> Vec<Point> {
+    grid2d_coords(nx, ny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, lshape, tet_mesh3d, tri_mesh2d};
+
+    #[test]
+    fn counts_match_generators() {
+        assert_eq!(grid2d_coords(7, 5).len(), grid2d(7, 5).n());
+        assert_eq!(lshape_coords(8).len(), lshape(8).n());
+        assert_eq!(tri_mesh2d_coords(6, 9, 3).len(), tri_mesh2d(6, 9, 3).n());
+        assert_eq!(
+            tet_mesh3d_coords(4, 5, 6, 2).len(),
+            tet_mesh3d(4, 5, 6, 2).n()
+        );
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let a = tri_mesh2d_coords(10, 10, 7);
+        let b = tri_mesh2d_coords(10, 10, 7);
+        assert_eq!(a, b);
+        for (i, p) in a.iter().enumerate() {
+            let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+            assert!((p[0] - x).abs() < 0.5 && (p[1] - y).abs() < 0.5);
+        }
+        let c = tri_mesh2d_coords(10, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grid3d_ordering_matches_index_scheme() {
+        let pts = grid3d_coords(3, 4, 5);
+        // vertex (x=2, y=1, z=3) has id (3*4 + 1)*3 + 2
+        let id = (3 * 4 + 1) * 3 + 2;
+        assert_eq!(pts[id], [2.0, 1.0, 3.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Regular grid and stencil graphs.
+//!
+//! These model the finite-difference / finite-element discretizations that
+//! dominate the paper's test suite: 5-point and 9-point 2D grids (CFD,
+//! shells), 7-point and 27-point 3D grids (solid stiffness matrices), with
+//! optional wrap-around in the first dimension for cylindrical geometries
+//! (CYLINDER93, SHELL93).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+
+#[inline]
+fn idx2(nx: usize, x: usize, y: usize) -> Vid {
+    (y * nx + x) as Vid
+}
+
+#[inline]
+fn idx3(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> Vid {
+    ((z * ny + y) * nx + x) as Vid
+}
+
+/// 2D grid with the 5-point stencil (`nx * ny` vertices).
+pub fn grid2d(nx: usize, ny: usize) -> CsrGraph {
+    assert!(nx >= 1 && ny >= 1);
+    let mut b = GraphBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(idx2(nx, x, y), idx2(nx, x + 1, y));
+            }
+            if y + 1 < ny {
+                b.add_edge(idx2(nx, x, y), idx2(nx, x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2D grid with the 9-point stencil (axis + diagonal neighbors). With
+/// `wrap_x`, the x dimension is periodic, producing a cylindrical shell
+/// surface mesh.
+pub fn grid2d_9pt(nx: usize, ny: usize, wrap_x: bool) -> CsrGraph {
+    assert!(nx >= 3 && ny >= 2, "9-point grid needs nx>=3, ny>=2");
+    let mut b = GraphBuilder::with_capacity(nx * ny, 4 * nx * ny);
+    let right = |x: usize| if wrap_x { (x + 1) % nx } else { x + 1 };
+    for y in 0..ny {
+        for x in 0..nx {
+            let has_right = wrap_x || x + 1 < nx;
+            if has_right {
+                b.add_edge(idx2(nx, x, y), idx2(nx, right(x), y));
+            }
+            if y + 1 < ny {
+                b.add_edge(idx2(nx, x, y), idx2(nx, x, y + 1));
+                if has_right {
+                    b.add_edge(idx2(nx, x, y), idx2(nx, right(x), y + 1));
+                    b.add_edge(idx2(nx, right(x), y), idx2(nx, x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D grid with the 7-point stencil.
+pub fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = idx3(nx, ny, x, y, z);
+                if x + 1 < nx {
+                    b.add_edge(v, idx3(nx, ny, x + 1, y, z));
+                }
+                if y + 1 < ny {
+                    b.add_edge(v, idx3(nx, ny, x, y + 1, z));
+                }
+                if z + 1 < nz {
+                    b.add_edge(v, idx3(nx, ny, x, y, z + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D grid with the full 27-point stencil: every vertex connects to all
+/// lattice neighbors within Chebyshev distance 1. This reproduces the degree
+/// structure of hexahedral-element stiffness matrices (BCSSTK30-33, CANT,
+/// INPRO1, TROLL): interior degree 26, nnz/n ≈ 27.
+pub fn stiffness3d(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    stiffness3d_opt(nx, ny, nz, false)
+}
+
+/// [`stiffness3d`] with optional periodic wrap in x (cylindrical solids such
+/// as CYLINDER93 and the SHELL93 shell).
+pub fn stiffness3d_wrapped(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    stiffness3d_opt(nx, ny, nz, true)
+}
+
+fn stiffness3d_opt(nx: usize, ny: usize, nz: usize, wrap_x: bool) -> CsrGraph {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    if wrap_x {
+        assert!(nx >= 3, "wrapped stencil needs nx >= 3");
+    }
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 13 * n);
+    // Enumerate the 13 forward half-stencil offsets so each edge is added
+    // once: (dx,dy,dz) lexicographically positive.
+    let offsets: Vec<(i64, i64, i64)> = {
+        let mut o = Vec::new();
+        for dz in 0..=1i64 {
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    if (dz, dy, dx) > (0, 0, 0) {
+                        o.push((dx, dy, dz));
+                    }
+                }
+            }
+        }
+        o
+    };
+    debug_assert_eq!(offsets.len(), 13);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = idx3(nx, ny, x, y, z);
+                for &(dx, dy, dz) in &offsets {
+                    let xx = x as i64 + dx;
+                    let xx = if wrap_x {
+                        xx.rem_euclid(nx as i64)
+                    } else if (0..nx as i64).contains(&xx) {
+                        xx
+                    } else {
+                        continue;
+                    };
+                    let yy = y as i64 + dy;
+                    let zz = z as i64 + dz;
+                    if !(0..ny as i64).contains(&yy) || !(0..nz as i64).contains(&zz) {
+                        continue;
+                    }
+                    b.add_edge(v, idx3(nx, ny, xx as usize, yy as usize, zz as usize));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Graded L-shaped 5-point mesh (LSHP-style): an `n x n` grid with the
+/// upper-right quadrant removed. (The grading of the original mesh changes
+/// vertex coordinates, not topology; partitioners see only the topology.)
+pub fn lshape(n: usize) -> CsrGraph {
+    assert!(n >= 2 && n.is_multiple_of(2), "lshape needs an even n >= 2");
+    let half = n / 2;
+    let inside = |x: usize, y: usize| !(x >= half && y >= half);
+    // Compact ids for the kept cells.
+    let mut id = vec![Vid::MAX; n * n];
+    let mut count = 0 as Vid;
+    for y in 0..n {
+        for x in 0..n {
+            if inside(x, y) {
+                id[y * n + x] = count;
+                count += 1;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(count as usize, 2 * count as usize);
+    for y in 0..n {
+        for x in 0..n {
+            if !inside(x, y) {
+                continue;
+            }
+            let v = id[y * n + x];
+            if x + 1 < n && inside(x + 1, y) {
+                b.add_edge(v, id[y * n + x + 1]);
+            }
+            if y + 1 < n && inside(x, y + 1) {
+                b.add_edge(v, id[(y + 1) * n + x]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn grid2d_counts() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid2d_degenerate_path() {
+        let g = grid2d(5, 1);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn grid9pt_interior_degree() {
+        let g = grid2d_9pt(5, 5, false);
+        assert_eq!(g.n(), 25);
+        // interior vertex (2,2) has 8 neighbors
+        assert_eq!(g.degree(12), 8);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid9pt_wrapped_has_no_x_boundary() {
+        let g = grid2d_9pt(6, 4, true);
+        // every vertex in an interior row has degree 8
+        for x in 0..6u32 {
+            assert_eq!(g.degree(6 + x), 8);
+        }
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn grid3d_counts() {
+        let g = grid3d(3, 3, 3);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.m(), 3 * (2 * 9)); // 2*3*3 per direction * 3 directions
+        assert_eq!(g.degree(13), 6); // center
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn stiffness_interior_degree_26() {
+        let g = stiffness3d(4, 4, 4);
+        assert_eq!(g.n(), 64);
+        // interior vertex (1,1,1) = 21
+        assert_eq!(g.degree(21), 26);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn stiffness_wrapped_validates() {
+        let g = stiffness3d_wrapped(6, 3, 3);
+        assert!(g.validate().is_ok());
+        assert!(is_connected(&g));
+        // interior-in-y-and-z vertices have full degree regardless of x
+        let v = 6 + 6 * 3; // (0,1,1)
+        assert_eq!(g.degree(v as u32), 26);
+    }
+
+    #[test]
+    fn lshape_counts() {
+        let g = lshape(4);
+        assert_eq!(g.n(), 12); // 16 - 4
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn lshape_bigger() {
+        let g = lshape(84);
+        assert_eq!(g.n(), 84 * 84 * 3 / 4);
+        assert!(is_connected(&g));
+    }
+}

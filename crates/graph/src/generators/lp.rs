@@ -1,0 +1,77 @@
+//! Linear-programming constraint graphs (FINAN512 analogue).
+//!
+//! FINAN512 is a multistage stochastic financial optimization matrix: 512
+//! dense diagonal blocks (scenario subproblems) coupled through a sparse
+//! tree/ring of linking constraints. The paper singles out this class as one
+//! where no geometry exists, so geometric partitioners cannot run at all.
+//! We reproduce the structure directly: `nblocks` locally dense blocks, each
+//! a small-world ring, chained in a global ring with sparse inter-block
+//! couplings and a binary-tree overlay of linking vertices.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::seeded;
+use rand::RngExt;
+
+/// Hierarchical LP graph: `nblocks * block_size` vertices.
+pub fn hierarchical_lp(nblocks: usize, block_size: usize, seed: u64) -> CsrGraph {
+    assert!(nblocks >= 2 && block_size >= 4);
+    let n = nblocks * block_size;
+    let mut rng = seeded(seed);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let vid = |blk: usize, i: usize| (blk * block_size + i) as Vid;
+    for blk in 0..nblocks {
+        // Intra-block: ring + random chords => locally well-connected
+        // subproblem (degree ~4.5 inside the block).
+        for i in 0..block_size {
+            b.add_edge(vid(blk, i), vid(blk, (i + 1) % block_size));
+            if rng.random_range(0..100) < 60 {
+                let j = rng.random_range(0..block_size);
+                if j != i {
+                    b.add_edge(vid(blk, i), vid(blk, j));
+                }
+            }
+        }
+        // Ring coupling to next block through a handful of linking columns.
+        let next = (blk + 1) % nblocks;
+        for link in 0..3.min(block_size) {
+            b.add_edge(vid(blk, link), vid(next, link));
+        }
+    }
+    // Binary-tree overlay over block representatives: stage-linking
+    // constraints of the multistage formulation.
+    let mut level: Vec<usize> = (0..nblocks).collect();
+    while level.len() > 1 {
+        let mut up = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                b.add_edge(vid(pair[0], block_size - 1), vid(pair[1], block_size - 1));
+            }
+            up.push(pair[0]);
+        }
+        level = up;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn lp_structure() {
+        let g = hierarchical_lp(16, 32, 4);
+        assert_eq!(g.n(), 512);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        // Sparse overall, like FINAN512 (nnz/n ~ 4.5).
+        assert!(g.avg_degree() > 3.0 && g.avg_degree() < 8.0, "{}", g.avg_degree());
+    }
+
+    #[test]
+    fn lp_deterministic() {
+        assert_eq!(hierarchical_lp(8, 16, 1), hierarchical_lp(8, 16, 1));
+        assert_ne!(hierarchical_lp(8, 16, 1), hierarchical_lp(8, 16, 2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Irregular FEM-style meshes.
+//!
+//! Triangulated 2D meshes (4ELT-style) and tetrahedral-like 3D meshes
+//! (COPTER2 / BRACK2 / ROTOR / WAVE-style) are modeled as jittered grids:
+//! the axis edges of a grid plus randomly chosen cell diagonals. This yields
+//! the irregular, locally varying degree distribution (≈6 in 2D, ≈10-14 in
+//! 3D) of unstructured simplicial meshes while staying deterministic and
+//! planar/local — exactly the properties the multilevel schemes exploit.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::seeded;
+use rand::RngExt;
+
+#[inline]
+fn idx2(nx: usize, x: usize, y: usize) -> Vid {
+    (y * nx + x) as Vid
+}
+
+#[inline]
+fn idx3(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> Vid {
+    ((z * ny + y) * nx + x) as Vid
+}
+
+/// Irregular 2D triangulation: grid edges plus one random diagonal per cell.
+/// Average degree ≈ 6, like a Delaunay triangulation of scattered points.
+pub fn tri_mesh2d(nx: usize, ny: usize, seed: u64) -> CsrGraph {
+    assert!(nx >= 2 && ny >= 2);
+    let mut rng = seeded(seed);
+    let mut b = GraphBuilder::with_capacity(nx * ny, 3 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(idx2(nx, x, y), idx2(nx, x + 1, y));
+            }
+            if y + 1 < ny {
+                b.add_edge(idx2(nx, x, y), idx2(nx, x, y + 1));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                // Triangulate the cell with one of the two diagonals.
+                if rng.random_range(0..2) == 0 {
+                    b.add_edge(idx2(nx, x, y), idx2(nx, x + 1, y + 1));
+                } else {
+                    b.add_edge(idx2(nx, x + 1, y), idx2(nx, x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Irregular tetrahedral-like 3D mesh: 7-point grid edges plus, per cell, a
+/// random body diagonal and a random subset of face diagonals. Average
+/// degree ≈ 11, matching 3D tetrahedral FEM meshes.
+pub fn tet_mesh3d(nx: usize, ny: usize, nz: usize, seed: u64) -> CsrGraph {
+    assert!(nx >= 2 && ny >= 2 && nz >= 2);
+    let mut rng = seeded(seed);
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 6 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = idx3(nx, ny, x, y, z);
+                if x + 1 < nx {
+                    b.add_edge(v, idx3(nx, ny, x + 1, y, z));
+                }
+                if y + 1 < ny {
+                    b.add_edge(v, idx3(nx, ny, x, y + 1, z));
+                }
+                if z + 1 < nz {
+                    b.add_edge(v, idx3(nx, ny, x, y, z + 1));
+                }
+                if x + 1 < nx && y + 1 < ny && z + 1 < nz {
+                    // One of four body diagonals of the cell.
+                    let corners = [
+                        (idx3(nx, ny, x, y, z), idx3(nx, ny, x + 1, y + 1, z + 1)),
+                        (idx3(nx, ny, x + 1, y, z), idx3(nx, ny, x, y + 1, z + 1)),
+                        (idx3(nx, ny, x, y + 1, z), idx3(nx, ny, x + 1, y, z + 1)),
+                        (idx3(nx, ny, x, y, z + 1), idx3(nx, ny, x + 1, y + 1, z)),
+                    ];
+                    let (a, c) = corners[rng.random_range(0..4)];
+                    b.add_edge(a, c);
+                    // Two of the three "lower" face diagonals, randomly
+                    // oriented, emulating the tetrahedralization of the cell.
+                    if rng.random_range(0..2) == 0 {
+                        b.add_edge(idx3(nx, ny, x, y, z), idx3(nx, ny, x + 1, y + 1, z));
+                    } else {
+                        b.add_edge(idx3(nx, ny, x + 1, y, z), idx3(nx, ny, x, y + 1, z));
+                    }
+                    if rng.random_range(0..2) == 0 {
+                        b.add_edge(idx3(nx, ny, x, y, z), idx3(nx, ny, x + 1, y, z + 1));
+                    } else {
+                        b.add_edge(idx3(nx, ny, x + 1, y, z), idx3(nx, ny, x, y, z + 1));
+                    }
+                    if rng.random_range(0..2) == 0 {
+                        b.add_edge(idx3(nx, ny, x, y, z), idx3(nx, ny, x, y + 1, z + 1));
+                    } else {
+                        b.add_edge(idx3(nx, ny, x, y + 1, z), idx3(nx, ny, x, y, z + 1));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn tri_mesh_degree_and_connectivity() {
+        let g = tri_mesh2d(20, 20, 1);
+        assert_eq!(g.n(), 400);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        // avg degree of a triangulation tends to 6 from below
+        assert!(g.avg_degree() > 4.5 && g.avg_degree() < 6.0, "{}", g.avg_degree());
+    }
+
+    #[test]
+    fn tri_mesh_deterministic() {
+        assert_eq!(tri_mesh2d(10, 10, 7), tri_mesh2d(10, 10, 7));
+        assert_ne!(tri_mesh2d(10, 10, 7), tri_mesh2d(10, 10, 8));
+    }
+
+    #[test]
+    fn tet_mesh_degree_and_connectivity() {
+        let g = tet_mesh3d(8, 8, 8, 2);
+        assert_eq!(g.n(), 512);
+        assert!(is_connected(&g));
+        assert!(g.validate().is_ok());
+        assert!(g.avg_degree() > 8.0 && g.avg_degree() < 14.0, "{}", g.avg_degree());
+    }
+
+    #[test]
+    fn tet_mesh_deterministic() {
+        assert_eq!(tet_mesh3d(4, 4, 4, 3), tet_mesh3d(4, 4, 4, 3));
+    }
+}

@@ -1,0 +1,141 @@
+//! Network-class graphs: power grids, road maps, and power-law circuits.
+//!
+//! These cover the paper's non-mesh workloads: BCSPWR10 (Eastern US power
+//! network, degree ≈ 3, tree-like), MAP (highway network, near-planar,
+//! degree ≈ 3.5), and MEMPLUS / S38584.1 (VLSI circuits with power-law
+//! degree distributions, the graphs that motivate the HCM matching scheme).
+
+use crate::builder::GraphBuilder;
+use crate::components::connect_components;
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::seeded;
+use rand::RngExt;
+
+/// Power-grid-like graph: a locality-biased random tree plus a sprinkling of
+/// chord edges. Degree ≈ 2-3, long stringy structure with low connectivity,
+/// like BCSPWR10.
+pub fn powergrid(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = seeded(seed);
+    let mut b = GraphBuilder::with_capacity(n, n + n / 4);
+    // Locality-biased random tree: parent drawn from a recent window, which
+    // produces the long chains characteristic of transmission networks.
+    for v in 1..n {
+        let window = 32.min(v);
+        let parent = v - 1 - rng.random_range(0..window);
+        b.add_edge(v as Vid, parent as Vid);
+    }
+    // Sparse chords (~12% of n) with local bias.
+    let chords = n / 8;
+    for _ in 0..chords {
+        let u = rng.random_range(0..n);
+        let span = 1 + rng.random_range(1..256.min(n));
+        let v = (u + span) % n;
+        if u != v {
+            b.add_edge(u as Vid, v as Vid);
+        }
+    }
+    b.build()
+}
+
+/// Road-network-like graph (MAP analogue): a 2D grid with a random fraction
+/// of edges deleted and occasional diagonal shortcuts, reconnected if the
+/// deletions disconnect it. Near-planar, degree ≈ 3.5.
+pub fn roadnet(nx: usize, ny: usize, seed: u64) -> CsrGraph {
+    assert!(nx >= 2 && ny >= 2);
+    let mut rng = seeded(seed);
+    let idx = |x: usize, y: usize| (y * nx + x) as Vid;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            // Keep ~85% of grid edges: roads have gaps.
+            if x + 1 < nx && rng.random_range(0..100) < 85 {
+                b.add_edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < ny && rng.random_range(0..100) < 85 {
+                b.add_edge(idx(x, y), idx(x, y + 1));
+            }
+            // Occasional diagonal shortcut (~6% of cells).
+            if x + 1 < nx && y + 1 < ny && rng.random_range(0..100) < 6 {
+                b.add_edge(idx(x, y), idx(x + 1, y + 1));
+            }
+        }
+    }
+    connect_components(&b.build())
+}
+
+/// Power-law circuit graph via preferential attachment (Barabási-Albert):
+/// each new vertex attaches to `m_per` existing vertices chosen
+/// proportionally to degree. Models MEMPLUS / S38584.1 — a few very
+/// high-degree nets and a heavy tail of low-degree cells.
+pub fn powerlaw(n: usize, m_per: usize, seed: u64) -> CsrGraph {
+    assert!(n > m_per && m_per >= 1);
+    let mut rng = seeded(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_per);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<Vid> = Vec::with_capacity(2 * n * m_per);
+    // Seed clique on the first m_per+1 vertices.
+    for u in 0..=(m_per as Vid) {
+        for v in 0..u {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_per + 1)..n {
+        let mut chosen: Vec<Vid> = Vec::with_capacity(m_per);
+        let mut guard = 0;
+        while chosen.len() < m_per && guard < 50 {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v as Vid && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            b.add_edge(v as Vid, t);
+            endpoints.push(v as Vid);
+            endpoints.push(t);
+        }
+    }
+    connect_components(&b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn powergrid_is_sparse_and_connected() {
+        let g = powergrid(2000, 11);
+        assert_eq!(g.n(), 2000);
+        assert!(is_connected(&g));
+        assert!(g.avg_degree() < 3.5, "{}", g.avg_degree());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn roadnet_is_connected_and_sparse() {
+        let g = roadnet(40, 40, 5);
+        assert_eq!(g.n(), 1600);
+        assert!(is_connected(&g));
+        assert!(g.avg_degree() > 2.0 && g.avg_degree() < 4.5, "{}", g.avg_degree());
+    }
+
+    #[test]
+    fn powerlaw_has_hubs() {
+        let g = powerlaw(2000, 3, 9);
+        assert!(is_connected(&g));
+        // Preferential attachment must create hubs far above the mean.
+        assert!(g.max_degree() > 8 * g.avg_degree() as usize, "max {} avg {}", g.max_degree(), g.avg_degree());
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(powergrid(500, 3), powergrid(500, 3));
+        assert_eq!(roadnet(20, 20, 3), roadnet(20, 20, 3));
+        assert_eq!(powerlaw(500, 2, 3), powerlaw(500, 2, 3));
+    }
+}

@@ -1,0 +1,347 @@
+//! Graph file I/O.
+//!
+//! Two formats are supported:
+//!
+//! * the **Chaco / METIS `.graph` format** the original systems consumed
+//!   (header `n m [fmt]`, then one line of 1-indexed neighbors per vertex;
+//!   `fmt` = `1` edge weights, `10` vertex weights, `11` both);
+//! * **MatrixMarket** `coordinate` files (`pattern`/`real`/`integer`,
+//!   `symmetric` or `general`), read as the adjacency structure of the
+//!   matrix — how the paper's Harwell-Boeing test matrices are distributed
+//!   today.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Vid, Wgt};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed file contents, with a human-readable description.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Parse(msg.into()))
+}
+
+/// Read a Chaco/METIS format graph from a reader.
+pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().map(|l| l.map_err(IoError::from));
+    // Header: n m [fmt]
+    let header = loop {
+        match lines.next() {
+            None => return parse_err("empty file"),
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') && !t.starts_with('#') {
+                    break t.to_string();
+                }
+            }
+        }
+    };
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 {
+        return parse_err("header must be `n m [fmt]`");
+    }
+    let n: usize = head[0].parse().map_err(|_| IoError::Parse("bad n".into()))?;
+    let m: usize = head[1].parse().map_err(|_| IoError::Parse("bad m".into()))?;
+    let fmt = if head.len() > 2 { head[2] } else { "0" };
+    let (has_vwgt, has_ewgt) = match fmt {
+        "0" | "00" => (false, false),
+        "1" | "01" => (false, true),
+        "10" => (true, false),
+        "11" => (true, true),
+        other => return parse_err(format!("unsupported fmt `{other}`")),
+    };
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut vwgt: Vec<Wgt> = Vec::with_capacity(if has_vwgt { n } else { 0 });
+    let mut v = 0 as Vid;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        if v as usize >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return parse_err("more vertex lines than n");
+        }
+        let mut tok = t.split_whitespace();
+        if has_vwgt {
+            match tok.next() {
+                Some(w) => vwgt.push(
+                    w.parse()
+                        .map_err(|_| IoError::Parse(format!("bad vwgt on line of vertex {v}")))?,
+                ),
+                None => vwgt.push(1),
+            }
+        }
+        while let Some(u) = tok.next() {
+            let u: usize = u
+                .parse()
+                .map_err(|_| IoError::Parse(format!("bad neighbor `{u}`")))?;
+            if u == 0 || u > n {
+                return parse_err(format!("neighbor {u} out of range 1..={n}"));
+            }
+            let w: Wgt = if has_ewgt {
+                match tok.next() {
+                    Some(w) => w
+                        .parse()
+                        .map_err(|_| IoError::Parse(format!("bad edge weight `{w}`")))?,
+                    None => return parse_err("missing edge weight"),
+                }
+            } else {
+                1
+            };
+            let u = (u - 1) as Vid;
+            // Each undirected edge appears on both endpoint lines; keep one.
+            if v <= u {
+                b.add_weighted_edge(v, u, w);
+            }
+        }
+        v += 1;
+    }
+    if (v as usize) < n {
+        return parse_err(format!("only {v} of {n} vertex lines present"));
+    }
+    if has_vwgt {
+        b.set_vertex_weights(vwgt);
+    }
+    let g = b.build();
+    if g.m() != m {
+        return parse_err(format!("header claims {m} edges, found {}", g.m()));
+    }
+    Ok(g)
+}
+
+/// Write a graph in Chaco/METIS format (always emits fmt `11`).
+pub fn write_chaco<W: Write>(g: &CsrGraph, w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "{} {} 11", g.n(), g.m())?;
+    for v in 0..g.n() as Vid {
+        write!(out, "{}", g.vwgt()[v as usize])?;
+        for (u, wgt) in g.adj(v) {
+            write!(out, " {} {}", u + 1, wgt)?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Read a MatrixMarket coordinate file as a graph: off-diagonal nonzeros
+/// become unit-weight edges (values, if present, are ignored — partitioning
+/// uses only the structure, as the paper does).
+pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let banner = match lines.next() {
+        Some(l) => l?,
+        None => return parse_err("empty file"),
+    };
+    let lower = banner.to_ascii_lowercase();
+    if !lower.starts_with("%%matrixmarket") {
+        return parse_err("missing MatrixMarket banner");
+    }
+    if !lower.contains("coordinate") {
+        return parse_err("only coordinate format supported");
+    }
+    let pattern = lower.contains("pattern");
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim().to_string();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t);
+        break;
+    }
+    let Some(size_line) = size_line else {
+        return parse_err("missing size line");
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse().map_err(|_| IoError::Parse("bad size line".into())))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return parse_err("size line must be `rows cols nnz`");
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    if rows != cols {
+        return parse_err("matrix must be square to define a graph");
+    }
+    let mut b = GraphBuilder::with_capacity(rows, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut tok = t.split_whitespace();
+        let (Some(i), Some(j)) = (tok.next(), tok.next()) else {
+            return parse_err("bad entry line");
+        };
+        if !pattern && tok.next().is_none() {
+            return parse_err("missing value on entry line");
+        }
+        let i: usize = i.parse().map_err(|_| IoError::Parse("bad row index".into()))?;
+        let j: usize = j.parse().map_err(|_| IoError::Parse("bad col index".into()))?;
+        if i == 0 || i > rows || j == 0 || j > rows {
+            return parse_err("index out of range");
+        }
+        if i != j {
+            b.add_edge((i - 1) as Vid, (j - 1) as Vid);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return parse_err(format!("header claims {nnz} entries, found {seen}"));
+    }
+    Ok(b.build())
+}
+
+/// Write a graph as a symmetric MatrixMarket pattern matrix (lower
+/// triangle plus unit diagonal, the Harwell-Boeing convention for
+/// structural symmetry).
+pub fn write_matrix_market<W: Write>(g: &CsrGraph, w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+    writeln!(out, "% exported by mlgp-graph")?;
+    writeln!(out, "{} {} {}", g.n(), g.n(), g.n() + g.m())?;
+    for v in 0..g.n() as Vid {
+        writeln!(out, "{} {}", v + 1, v + 1)?;
+        for &u in g.neighbors(v) {
+            if u < v {
+                writeln!(out, "{} {}", v + 1, u + 1)?;
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Read a graph file, dispatching on extension (`.mtx` → MatrixMarket,
+/// anything else → Chaco/METIS).
+pub fn read_graph_file(path: &Path) -> Result<CsrGraph, IoError> {
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "mtx") {
+        read_matrix_market(f)
+    } else {
+        read_chaco(f)
+    }
+}
+
+/// Write a graph to a `.graph` file in Chaco/METIS format.
+pub fn write_graph_file(g: &CsrGraph, path: &Path) -> std::io::Result<()> {
+    write_chaco(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaco_round_trip() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 2)
+            .add_weighted_edge(1, 2, 3)
+            .add_weighted_edge(2, 3, 4)
+            .add_weighted_edge(3, 0, 5);
+        b.set_vertex_weights(vec![1, 2, 3, 4]);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_chaco(&g, &mut buf).unwrap();
+        let g2 = read_chaco(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn reads_unweighted_chaco() {
+        let text = "% comment\n3 2\n2\n1 3\n2\n";
+        let g = read_chaco(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reads_edge_weighted_chaco() {
+        let text = "2 1 1\n2 7\n1 7\n";
+        let g = read_chaco(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_weights(0), &[7]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_chaco("3\n".as_bytes()).is_err());
+        assert!(read_chaco("".as_bytes()).is_err());
+        assert!(read_chaco("2 1 99\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(read_chaco(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reads_matrix_market_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 4\n1 1 2.0\n2 1 -1.0\n3 2 -1.0\n3 3 2.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2); // diagonal entries dropped
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reads_matrix_market_pattern_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n1 2\n2 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 1); // duplicate (1,2)/(2,1) folded
+    }
+
+    #[test]
+    fn matrix_market_round_trips_structure() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 0);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(&buf[..]).unwrap();
+        // Weights are structural (units), so the graphs are fully equal.
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn mm_rejects_rectangular() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Vertex permutations and graph relabeling.
+//!
+//! Fill-reducing orderings are permutations; this module provides a checked
+//! [`Permutation`] type (forward `perm` and inverse `iperm` kept in sync)
+//! plus relabeling of a [`CsrGraph`] under a permutation.
+
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::shuffle;
+use rand::Rng;
+
+/// A bijection on `0..n`.
+///
+/// `perm[i]` is the *new* label of old vertex `i`; `iperm[j]` is the old
+/// vertex placed at new position `j` (so `iperm[perm[i]] == i`). For a
+/// fill-reducing ordering, `perm[v]` is the elimination step at which `v` is
+/// eliminated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<Vid>,
+    iperm: Vec<Vid>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<Vid> = (0..n as Vid).collect();
+        Self {
+            iperm: perm.clone(),
+            perm,
+        }
+    }
+
+    /// Build from a forward map `perm[i] = new label of i`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a bijection on `0..perm.len()`.
+    pub fn from_forward(perm: Vec<Vid>) -> Self {
+        let n = perm.len();
+        let mut iperm = vec![Vid::MAX; n];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!((new as usize) < n, "perm value {new} out of range");
+            assert!(iperm[new as usize] == Vid::MAX, "perm not injective at {new}");
+            iperm[new as usize] = old as Vid;
+        }
+        Self { perm, iperm }
+    }
+
+    /// Build from an inverse map `iperm[j] = old vertex at new position j`
+    /// (the "order in which vertices are eliminated" convention).
+    pub fn from_inverse(iperm: Vec<Vid>) -> Self {
+        let f = Self::from_forward(iperm);
+        Self {
+            perm: f.iperm,
+            iperm: f.perm,
+        }
+    }
+
+    /// A uniformly random permutation (Fisher-Yates).
+    pub fn random<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut iperm: Vec<Vid> = (0..n as Vid).collect();
+        shuffle(rng, &mut iperm);
+        Self::from_inverse(iperm)
+    }
+
+    /// Size of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Forward map: old label -> new label.
+    pub fn perm(&self) -> &[Vid] {
+        &self.perm
+    }
+
+    /// Inverse map: new label -> old label.
+    pub fn iperm(&self) -> &[Vid] {
+        &self.iperm
+    }
+
+    /// New label of old vertex `v`.
+    #[inline]
+    pub fn apply(&self, v: Vid) -> Vid {
+        self.perm[v as usize]
+    }
+
+    /// Compose: first apply `self`, then `other` (`result(v) =
+    /// other(self(v))`).
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        let perm: Vec<Vid> = self.perm.iter().map(|&p| other.perm[p as usize]).collect();
+        Permutation::from_forward(perm)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            perm: self.iperm.clone(),
+            iperm: self.perm.clone(),
+        }
+    }
+}
+
+/// Relabel `g` so that old vertex `v` becomes `p.apply(v)`.
+pub fn permute_graph(g: &CsrGraph, p: &Permutation) -> CsrGraph {
+    assert_eq!(g.n(), p.len(), "permutation size mismatch");
+    let n = g.n();
+    let mut xadj = vec![0u32; n + 1];
+    for old in 0..n as Vid {
+        xadj[p.apply(old) as usize + 1] = g.degree(old) as u32;
+    }
+    for i in 0..n {
+        xadj[i + 1] += xadj[i];
+    }
+    let mut adjncy = vec![0 as Vid; g.nnz()];
+    let mut adjwgt = vec![0; g.nnz()];
+    let mut vwgt = vec![0; n];
+    for old in 0..n as Vid {
+        let new = p.apply(old) as usize;
+        vwgt[new] = g.vwgt()[old as usize];
+        let start = xadj[new] as usize;
+        let mut row: Vec<(Vid, i64)> = g.adj(old).map(|(u, w)| (p.apply(u), w)).collect();
+        row.sort_unstable_by_key(|&(u, _)| u);
+        for (i, (u, w)) in row.into_iter().enumerate() {
+            adjncy[start + i] = u;
+            adjwgt[start + i] = w;
+        }
+    }
+    CsrGraph::from_parts_unchecked(xadj, adjncy, vwgt, adjwgt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.apply(3), 3);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn forward_inverse_consistency() {
+        let p = Permutation::from_forward(vec![2, 0, 1]);
+        assert_eq!(p.iperm(), &[1, 2, 0]);
+        assert_eq!(p.inverse().perm(), &[1, 2, 0]);
+        for v in 0..3 {
+            assert_eq!(p.iperm()[p.apply(v) as usize], v);
+        }
+    }
+
+    #[test]
+    fn from_inverse_matches() {
+        let p = Permutation::from_inverse(vec![2, 0, 1]);
+        assert_eq!(p.perm(), &[1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn rejects_non_bijection() {
+        Permutation::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn composition() {
+        let a = Permutation::from_forward(vec![1, 2, 0]);
+        let b = Permutation::from_forward(vec![2, 1, 0]);
+        let c = a.then(&b);
+        for v in 0..3 {
+            assert_eq!(c.apply(v), b.apply(a.apply(v)));
+        }
+    }
+
+    #[test]
+    fn random_is_bijection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let p = Permutation::random(100, &mut rng);
+        let mut seen = [false; 100];
+        for v in 0..100 {
+            seen[p.apply(v) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permute_graph_preserves_structure() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 3)
+            .add_weighted_edge(1, 2, 5)
+            .add_weighted_edge(2, 3, 7);
+        b.set_vertex_weights(vec![1, 2, 3, 4]);
+        let g = b.build();
+        let p = Permutation::from_forward(vec![3, 1, 0, 2]);
+        let h = permute_graph(&g, &p);
+        assert!(h.validate().is_ok());
+        assert_eq!(h.m(), g.m());
+        assert_eq!(h.total_vwgt(), g.total_vwgt());
+        assert_eq!(h.total_adjwgt(), g.total_adjwgt());
+        // Edge (1,2,w=5) became (1,0,w=5).
+        assert_eq!(h.vwgt()[1], 2);
+        let w: Vec<_> = h.adj(1).collect();
+        assert!(w.contains(&(0, 5)));
+        // Applying the inverse restores the original graph.
+        let g2 = permute_graph(&h, &p.inverse());
+        assert_eq!(g2, g);
+    }
+}

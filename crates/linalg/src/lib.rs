@@ -1,0 +1,74 @@
+//! # mlgp-linalg
+//!
+//! Numerical substrate for the spectral partitioning methods in the ICPP'95
+//! reproduction: matrix-free graph Laplacians, a dense Jacobi eigensolver
+//! (coarsest graphs), Lanczos with full reorthogonalization (Fiedler pairs
+//! from scratch), MINRES for symmetric indefinite solves, and
+//! Rayleigh-quotient iteration (multilevel Fiedler refinement à la
+//! Barnard-Simon).
+//!
+//! ```
+//! // lambda_2 of the path P_n is 2(1 - cos(pi/n)).
+//! let g = mlgp_graph::generators::grid2d(16, 1);
+//! let (l2, v) = mlgp_linalg::fiedler_vector(&g, 7);
+//! let expect = 2.0 * (1.0 - (std::f64::consts::PI / 16.0).cos());
+//! assert!((l2 - expect).abs() < 1e-6);
+//! assert_eq!(v.len(), 16);
+//! ```
+
+pub mod dense;
+pub mod lanczos;
+pub mod laplacian;
+pub mod minres;
+pub mod rqi;
+pub mod vecops;
+
+pub use dense::{fiedler_dense, jacobi_eigen, DenseSym, EigenDecomposition};
+pub use lanczos::{lanczos_fiedler, lanczos_fiedler_with_start, LanczosOptions, LanczosResult};
+pub use laplacian::{Laplacian, Shifted, SymOp};
+pub use minres::{minres, MinresOptions, MinresResult};
+pub use rqi::{rqi_refine, RqiOptions, RqiResult};
+
+use mlgp_graph::CsrGraph;
+
+/// Size threshold below which the dense Jacobi path is used for Fiedler
+/// vectors; above it, Lanczos.
+pub const DENSE_FIEDLER_LIMIT: usize = 320;
+
+/// Compute `(λ₂, fiedler vector)` of a connected graph, dispatching between
+/// the dense and iterative solvers by size.
+pub fn fiedler_vector(g: &CsrGraph, seed: u64) -> (f64, Vec<f64>) {
+    assert!(g.n() >= 2);
+    if g.n() <= DENSE_FIEDLER_LIMIT {
+        fiedler_dense(g)
+    } else {
+        let lap = Laplacian::new(g);
+        let r = lanczos_fiedler(
+            &lap,
+            &LanczosOptions {
+                seed,
+                ..LanczosOptions::default()
+            },
+        );
+        (r.lambda, r.vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgp_graph::generators::grid2d;
+
+    #[test]
+    fn dispatch_agrees_across_threshold() {
+        // 18x18 = 324 > limit forces Lanczos; 17x17 = 289 uses dense.
+        let small = grid2d(17, 17);
+        let large = grid2d(18, 18);
+        let (l_small, _) = fiedler_vector(&small, 1);
+        let (l_large, _) = fiedler_vector(&large, 1);
+        // λ₂ of an n×n grid is 2(1 − cos(π/n)).
+        let expect = |n: f64| 2.0 * (1.0 - (std::f64::consts::PI / n).cos());
+        assert!((l_small - expect(17.0)).abs() < 1e-5, "{l_small}");
+        assert!((l_large - expect(18.0)).abs() < 1e-4, "{l_large}");
+    }
+}

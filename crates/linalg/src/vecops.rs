@@ -1,0 +1,113 @@
+//! Dense vector kernels used by the iterative eigensolvers.
+//!
+//! Plain slice loops: these are memory-bound level-1 BLAS operations that
+//! LLVM auto-vectorizes; the eigensolver runtimes are dominated by the
+//! sparse matrix-vector products, not these.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalize `x` to unit norm; returns the original norm (0 leaves `x`
+/// untouched).
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Remove the component of `x` along (unit or non-unit) `q`:
+/// `x -= (x·q / q·q) q`.
+pub fn orthogonalize_against(x: &mut [f64], q: &[f64]) {
+    let qq = dot(q, q);
+    if qq > 0.0 {
+        let coeff = dot(x, q) / qq;
+        axpy(-coeff, q, x);
+    }
+}
+
+/// Remove the mean of `x` (orthogonalize against the constant vector, the
+/// Laplacian's null space).
+pub fn deflate_constant(x: &mut [f64]) {
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    for xi in x {
+        *xi -= mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut x = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm(&x) - 1.0).abs() < 1e-15);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    fn orthogonalization() {
+        let q = vec![1.0, 1.0];
+        let mut x = vec![2.0, 0.0];
+        orthogonalize_against(&mut x, &q);
+        assert!(dot(&x, &q).abs() < 1e-14);
+    }
+
+    #[test]
+    fn deflation_removes_mean() {
+        let mut x = vec![1.0, 2.0, 3.0, 6.0];
+        deflate_constant(&mut x);
+        assert!(x.iter().sum::<f64>().abs() < 1e-12);
+    }
+}

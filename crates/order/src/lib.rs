@@ -1,0 +1,36 @@
+//! # mlgp-order
+//!
+//! Fill-reducing sparse matrix orderings and their evaluation (§4.3 of the
+//! paper): multilevel nested dissection (MLND, the contribution), spectral
+//! nested dissection (SND) and multiple minimum degree (MMD) as baselines,
+//! minimum-vertex-cover separators (Hopcroft-Karp + König), and symbolic
+//! Cholesky analysis (elimination trees, exact column counts, operation
+//! counts, tree height).
+//!
+//! ```
+//! use mlgp_order::{analyze_ordering, mlnd_order, mmd_order};
+//! let g = mlgp_graph::generators::stiffness3d(8, 8, 8);
+//! let nd = analyze_ordering(&g, &mlnd_order(&g));
+//! let md = analyze_ordering(&g, &mmd_order(&g));
+//! // Both fill-reducing orderings beat the natural order by a wide margin;
+//! // nested dissection additionally flattens the elimination tree.
+//! let nat = analyze_ordering(&g, &mlgp_graph::Permutation::identity(g.n()));
+//! assert!(nd.opcount < nat.opcount && md.opcount < nat.opcount);
+//! assert!(nd.height < md.height);
+//! ```
+
+pub mod cholesky;
+pub mod etree;
+pub mod mmd;
+pub mod nested;
+pub mod seprefine;
+pub mod vcover;
+
+pub use cholesky::{apply_shifted_laplacian, factor_laplacian, LdlFactor};
+pub use etree::{analyze_ordering, column_counts, elimination_tree, etree_height, SymbolicStats};
+pub use mmd::mmd_order;
+pub use nested::{mlnd_order, nested_dissection, snd_order, NdBisector, NdConfig};
+pub use seprefine::{refine_separator, separator_weight, SepRefineOptions};
+pub use vcover::{
+    hopcroft_karp, konig_cover, separator_is_valid, vertex_separator, SEPARATOR, SIDE_A, SIDE_B,
+};

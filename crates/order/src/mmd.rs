@@ -1,0 +1,498 @@
+//! Multiple Minimum Degree ordering (Liu 1985) — the serial fill-reducing
+//! baseline of §4.3.
+//!
+//! Implemented on a quotient graph: eliminated vertices become *elements*
+//! whose boundary lists stand in for the clique their elimination would
+//! create. The classic optimizations are included:
+//!
+//! * **external degree**: a supernode's own constituents are not counted;
+//! * **mass elimination / indistinguishable nodes**: vertices with
+//!   identical quotient-graph adjacency are merged into supernodes and
+//!   eliminated together;
+//! * **multiple elimination**: an independent set of minimum-degree nodes
+//!   is eliminated per round before any degree is recomputed;
+//! * **element absorption**: elements adjacent to a pivot are folded into
+//!   the new element, keeping lists short;
+//! * degrees are maintained with the **AMD-style bound** (Amestoy-Davis-
+//!   Duff): exact for nodes adjacent to at most two elements, a tight
+//!   upper bound otherwise — the standard tractable refinement of Liu's
+//!   exact external degree (see DESIGN.md §2).
+
+use mlgp_graph::{CsrGraph, Permutation, Vid};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Uneliminated supernode representative.
+    Alive,
+    /// Merged into an indistinguishable supernode (its representative will
+    /// emit it at elimination time).
+    Absorbed,
+    /// Eliminated; its id names a live element.
+    Element,
+    /// Eliminated element folded into a newer element.
+    DeadElement,
+}
+
+struct Mmd<'g> {
+    g: &'g CsrGraph,
+    status: Vec<Status>,
+    /// Node-node adjacency (lazily pruned).
+    nadj: Vec<Vec<u32>>,
+    /// Node-element adjacency (lazily pruned).
+    eadj: Vec<Vec<u32>>,
+    /// Element boundary node lists (lazily pruned).
+    enodes: Vec<Vec<u32>>,
+    /// Supernode sizes (valid for Alive representatives).
+    size: Vec<u32>,
+    /// Constituents absorbed into each representative.
+    members: Vec<Vec<u32>>,
+    /// Current external degree of Alive representatives.
+    degree: Vec<u64>,
+    /// Lazy min-heap of (degree, vertex).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Generation markers for reach-set deduplication.
+    marker: Vec<u64>,
+    stamp: u64,
+    /// Generation markers for per-round staleness.
+    stale: Vec<u64>,
+    round: u64,
+    /// Elimination output (original vertex ids, elimination order).
+    order: Vec<Vid>,
+}
+
+impl<'g> Mmd<'g> {
+    fn new(g: &'g CsrGraph) -> Self {
+        let n = g.n();
+        let nadj: Vec<Vec<u32>> = (0..n as Vid).map(|v| g.neighbors(v).to_vec()).collect();
+        let degree: Vec<u64> = (0..n as Vid).map(|v| g.degree(v) as u64).collect();
+        let mut heap = BinaryHeap::with_capacity(n);
+        for v in 0..n as u32 {
+            heap.push(Reverse((degree[v as usize], v)));
+        }
+        Self {
+            g,
+            status: vec![Status::Alive; n],
+            nadj,
+            eadj: vec![Vec::new(); n],
+            enodes: vec![Vec::new(); n],
+            size: vec![1; n],
+            members: vec![Vec::new(); n],
+            degree,
+            heap,
+            marker: vec![0; n],
+            stamp: 0,
+            stale: vec![0; n],
+            round: 0,
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn alive(&self, v: u32) -> bool {
+        self.status[v as usize] == Status::Alive
+    }
+
+    #[inline]
+    fn mark(&mut self, v: u32) -> bool {
+        if self.marker[v as usize] == self.stamp {
+            false
+        } else {
+            self.marker[v as usize] = self.stamp;
+            true
+        }
+    }
+
+    /// Collect the reachable set of `v` (alive representatives adjacent via
+    /// node edges or shared elements), pruning dead entries from the lists
+    /// it walks. `v` itself is marked but not returned.
+    fn reach(&mut self, v: u32) -> Vec<u32> {
+        self.stamp += 1;
+        self.marker[v as usize] = self.stamp;
+        let mut out = Vec::new();
+        let mut nlist = std::mem::take(&mut self.nadj[v as usize]);
+        nlist.retain(|&u| self.status[u as usize] == Status::Alive);
+        for &u in &nlist {
+            if self.mark(u) {
+                out.push(u);
+            }
+        }
+        self.nadj[v as usize] = nlist;
+        let mut elist = std::mem::take(&mut self.eadj[v as usize]);
+        elist.retain(|&e| self.status[e as usize] == Status::Element);
+        for &e in &elist {
+            let mut nodes = std::mem::take(&mut self.enodes[e as usize]);
+            nodes.retain(|&u| self.status[u as usize] == Status::Alive);
+            for &u in &nodes {
+                if self.mark(u) {
+                    out.push(u);
+                }
+            }
+            self.enodes[e as usize] = nodes;
+        }
+        self.eadj[v as usize] = elist;
+        out
+    }
+
+    /// Eliminate pivot `p`: create element `p` whose boundary is `Reach(p)`,
+    /// absorb `p`'s adjacent elements, and prune newly redundant node edges.
+    /// Returns the reach set (the nodes whose degrees became stale).
+    fn eliminate(&mut self, p: u32) -> Vec<u32> {
+        debug_assert!(self.alive(p));
+        self.order.push(p);
+        let members = std::mem::take(&mut self.members[p as usize]);
+        self.order.extend(members.iter().copied());
+        let reach = self.reach(p);
+        // Absorb adjacent elements: their boundary ⊆ reach ∪ {p}.
+        let elist = std::mem::take(&mut self.eadj[p as usize]);
+        for e in elist {
+            if self.status[e as usize] == Status::Element {
+                self.status[e as usize] = Status::DeadElement;
+                self.enodes[e as usize] = Vec::new();
+            }
+        }
+        self.status[p as usize] = Status::Element;
+        self.nadj[p as usize] = Vec::new();
+        // The reach set is still marked from `reach(p)`: node-node edges
+        // between reach members are now covered by element p — drop them.
+        let stamp = self.stamp;
+        for &u in &reach {
+            self.eadj[u as usize].push(p);
+            self.nadj[u as usize].retain(|&w| {
+                self.status[w as usize] == Status::Alive && self.marker[w as usize] != stamp
+            });
+        }
+        self.enodes[p as usize] = reach.clone();
+        reach
+    }
+
+    /// Prune `u`'s adjacency lists to alive entries, sort them, and return
+    /// them (element list first). Used for indistinguishability testing.
+    fn canonical_lists(&mut self, u: u32) -> (Vec<u32>, Vec<u32>) {
+        let mut elist = std::mem::take(&mut self.eadj[u as usize]);
+        elist.retain(|&e| self.status[e as usize] == Status::Element);
+        elist.sort_unstable();
+        elist.dedup();
+        let mut nlist = std::mem::take(&mut self.nadj[u as usize]);
+        nlist.retain(|&w| self.status[w as usize] == Status::Alive);
+        nlist.sort_unstable();
+        nlist.dedup();
+        self.eadj[u as usize] = elist.clone();
+        self.nadj[u as usize] = nlist.clone();
+        (elist, nlist)
+    }
+
+    /// Degree update for the boundary of freshly formed element `p`,
+    /// AMD-style (Amestoy-Davis-Duff): for each boundary node the external
+    /// degree is computed as `|Lp| + Σ_e |Le \ Lp| + Σ nadj sizes`, with
+    /// `|Le \ Lp|` computed once per neighboring element. This is *exact*
+    /// for nodes adjacent to at most two elements (the vast majority) and
+    /// an upper bound otherwise — the standard tractable refinement of
+    /// Liu's exact external degree.
+    ///
+    /// Also performs indistinguishable-node detection among `Lp`'s members
+    /// (identical element and node adjacency lists), merging supernodes.
+    fn update_degrees_for_element(&mut self, p: u32) {
+        debug_assert_eq!(self.status[p as usize], Status::Element);
+        // Current alive boundary of p.
+        let mut lp = std::mem::take(&mut self.enodes[p as usize]);
+        lp.retain(|&u| self.status[u as usize] == Status::Alive);
+
+        // --- Supernode detection among Lp -------------------------------
+        // Bucket entries: (representative, element list, node list).
+        type Bucket = Vec<(u32, Vec<u32>, Vec<u32>)>;
+        let mut buckets: std::collections::HashMap<u64, Bucket> =
+            std::collections::HashMap::new();
+        for &u in &lp {
+            let (elist, nlist) = self.canonical_lists(u);
+            let mut hash = 0u64;
+            for &e in &elist {
+                hash = hash.wrapping_add((e as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            }
+            for &w in &nlist {
+                hash = hash.wrapping_add((w as u64 + 1).wrapping_mul(0xC2B2AE3D27D4EB4F));
+            }
+            let bucket = buckets.entry(hash).or_default();
+            let mut absorbed = false;
+            for (rep, relist, rnlist) in bucket.iter() {
+                if *relist == elist && *rnlist == nlist {
+                    // u is indistinguishable from rep: merge supernodes.
+                    let rep = *rep;
+                    self.status[u as usize] = Status::Absorbed;
+                    self.size[rep as usize] += self.size[u as usize];
+                    let mut mem = std::mem::take(&mut self.members[u as usize]);
+                    self.members[rep as usize].push(u);
+                    self.members[rep as usize].append(&mut mem);
+                    self.nadj[u as usize] = Vec::new();
+                    self.eadj[u as usize] = Vec::new();
+                    absorbed = true;
+                    break;
+                }
+            }
+            if !absorbed {
+                bucket.push((u, elist, nlist));
+            }
+        }
+        lp.retain(|&u| self.status[u as usize] == Status::Alive);
+        self.enodes[p as usize] = lp.clone();
+
+        // --- AMD-style degree computation --------------------------------
+        // Mark Lp, compute its weighted size.
+        self.stamp += 1;
+        let mut wlp = 0u64;
+        for &u in &lp {
+            self.marker[u as usize] = self.stamp;
+            wlp += self.size[u as usize] as u64;
+        }
+        let lp_stamp = self.stamp;
+        // Weighted |Le \ Lp| per foreign element, computed on first touch.
+        let mut wle: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for &u in &lp {
+            let mut deg = wlp - self.size[u as usize] as u64;
+            // Foreign elements.
+            for i in 0..self.eadj[u as usize].len() {
+                let e = self.eadj[u as usize][i];
+                if e == p || self.status[e as usize] != Status::Element {
+                    continue;
+                }
+                let w = match wle.get(&e) {
+                    Some(&w) => w,
+                    None => {
+                        let mut nodes = std::mem::take(&mut self.enodes[e as usize]);
+                        nodes.retain(|&x| self.status[x as usize] == Status::Alive);
+                        let w: u64 = nodes
+                            .iter()
+                            .filter(|&&x| self.marker[x as usize] != lp_stamp)
+                            .map(|&x| self.size[x as usize] as u64)
+                            .sum();
+                        self.enodes[e as usize] = nodes;
+                        wle.insert(e, w);
+                        w
+                    }
+                };
+                deg += w;
+            }
+            // Direct node neighbors (disjoint from every element boundary
+            // by construction: they are pruned whenever an element forms).
+            deg += self.nadj[u as usize]
+                .iter()
+                .filter(|&&w| self.status[w as usize] == Status::Alive)
+                .map(|&w| self.size[w as usize] as u64)
+                .sum::<u64>();
+            self.degree[u as usize] = deg;
+            self.heap.push(Reverse((deg, u)));
+        }
+    }
+
+    fn run(mut self) -> Permutation {
+        let n = self.g.n();
+        while self.order.len() < n {
+            let Some(Reverse((deg, p))) = self.heap.pop() else {
+                // All heap entries were stale; re-seed from the survivors.
+                for v in 0..n as u32 {
+                    if self.alive(v) {
+                        self.heap.push(Reverse((self.degree[v as usize], v)));
+                    }
+                }
+                continue;
+            };
+            if !self.alive(p) || self.degree[p as usize] != deg {
+                continue;
+            }
+            let mindeg = deg;
+            // Multiple elimination: eliminate an independent set of
+            // min-degree nodes, then run one degree update per new element.
+            self.round += 1;
+            let round = self.round;
+            let mut pivots: Vec<u32> = Vec::new();
+            let mut pivot = p;
+            loop {
+                let reach = self.eliminate(pivot);
+                pivots.push(pivot);
+                for &u in &reach {
+                    self.stale[u as usize] = round;
+                }
+                // Next pivot: same degree, alive, degree not stale.
+                let mut next = None;
+                while let Some(&Reverse((d, q))) = self.heap.peek() {
+                    if d > mindeg {
+                        break;
+                    }
+                    self.heap.pop();
+                    if !self.alive(q) || self.degree[q as usize] != d {
+                        continue;
+                    }
+                    if self.stale[q as usize] == round {
+                        continue; // re-queued by the updates below
+                    }
+                    next = Some(q);
+                    break;
+                }
+                match next {
+                    Some(q) => pivot = q,
+                    None => break,
+                }
+            }
+            for p in pivots {
+                // A later pivot's element may have absorbed an earlier one.
+                if self.status[p as usize] == Status::Element {
+                    self.update_degrees_for_element(p);
+                }
+            }
+        }
+        Permutation::from_inverse(self.order)
+    }
+}
+
+/// Compute a multiple-minimum-degree ordering of `g`.
+pub fn mmd_order(g: &CsrGraph) -> Permutation {
+    if g.n() == 0 {
+        return Permutation::identity(0);
+    }
+    Mmd::new(g).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::analyze_ordering;
+    use mlgp_graph::generators::{grid2d, lshape, tri_mesh2d};
+    use mlgp_graph::GraphBuilder;
+
+    fn is_perm(p: &Permutation, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for v in 0..n as u32 {
+            seen[p.apply(v) as usize] = true;
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn orders_star_leaves_first() {
+        let mut b = GraphBuilder::new(6);
+        for i in 1..6 {
+            b.add_edge(0, i);
+        }
+        let g = b.build();
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, 6));
+        // Center must be eliminated last => zero fill.
+        assert_eq!(p.apply(0), 5);
+        let s = analyze_ordering(&g, &p);
+        assert_eq!(s.nnz_l, 6 + 5);
+    }
+
+    #[test]
+    fn path_gets_no_fill() {
+        let mut b = GraphBuilder::new(10);
+        for i in 0..9 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, 10));
+        let s = analyze_ordering(&g, &p);
+        // Minimum degree on a path gives zero fill.
+        assert_eq!(s.nnz_l, 10 + 9);
+    }
+
+    #[test]
+    fn beats_natural_order_on_grid() {
+        let g = grid2d(12, 12);
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, g.n()));
+        let mmd = analyze_ordering(&g, &p);
+        let nat = analyze_ordering(&g, &Permutation::identity(g.n()));
+        assert!(
+            mmd.opcount < nat.opcount,
+            "MMD {} vs natural {}",
+            mmd.opcount,
+            nat.opcount
+        );
+    }
+
+    #[test]
+    fn beats_random_order_on_mesh() {
+        let g = tri_mesh2d(15, 15, 3);
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, g.n()));
+        let mmd = analyze_ordering(&g, &p);
+        let mut rng = mlgp_graph::rng::seeded(1);
+        let rnd = analyze_ordering(&g, &Permutation::random(g.n(), &mut rng));
+        assert!(
+            mmd.opcount < rnd.opcount / 2.0,
+            "MMD {} vs random {}",
+            mmd.opcount,
+            rnd.opcount
+        );
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1).add_edge(1, 2);
+        b.add_edge(4, 5).add_edge(5, 6);
+        let g = b.build(); // vertex 3 isolated
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, 7));
+    }
+
+    #[test]
+    fn handles_clique() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5 {
+            for j in 0..i {
+                b.add_edge(i, j);
+            }
+        }
+        let g = b.build();
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, 5));
+        // Clique: all orders equal; fill is the full triangle regardless.
+        let s = analyze_ordering(&g, &p);
+        assert_eq!(s.nnz_l, 5 + 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = lshape(16);
+        let a = mmd_order(&g);
+        let b = mmd_order(&g);
+        assert_eq!(a.perm(), b.perm());
+    }
+
+    #[test]
+    fn quality_on_lshape_reasonable() {
+        // MMD on a 2D mesh should produce far less fill than the worst case.
+        let g = lshape(24);
+        let n = g.n() as u64;
+        let s = analyze_ordering(&g, &mmd_order(&g));
+        // Dense L would be n(n+1)/2; MMD must be a tiny fraction.
+        assert!(s.nnz_l < n * (n + 1) / 20, "nnz_l {}", s.nnz_l);
+    }
+
+    #[test]
+    fn supernodes_form_on_dense_rows() {
+        // Two vertices with identical closed neighborhoods must be merged
+        // and eliminated consecutively.
+        let mut b = GraphBuilder::new(6);
+        // 0 and 1 both adjacent to 2,3,4,5 and to each other.
+        b.add_edge(0, 1);
+        for t in 2..6 {
+            b.add_edge(0, t);
+            b.add_edge(1, t);
+        }
+        // ring among 2..6 to give them structure
+        b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 5);
+        let g = b.build();
+        let p = mmd_order(&g);
+        assert!(is_perm(&p, 6));
+        let pos0 = p.apply(0) as i64;
+        let pos1 = p.apply(1) as i64;
+        // 0 and 1 are indistinguishable: they end up adjacent in the order
+        // once either becomes a pivot (they may also simply be eliminated
+        // late; accept adjacency OR both in the final two positions).
+        assert!((pos0 - pos1).abs() == 1 || (pos0 >= 4 && pos1 >= 4), "{pos0} {pos1}");
+    }
+}

@@ -1,0 +1,245 @@
+//! The multilevel bisection driver (§3): coarsen, partition the coarsest
+//! graph, uncoarsen with refinement. Phase timings are recorded in the
+//! paper's vocabulary (CTime; UTime = ITime + RTime + PTime).
+
+use crate::coarsen::coarsen;
+use crate::config::MlConfig;
+use crate::initpart::initial_partition;
+use crate::refine::fm::BalanceTargets;
+use crate::refine::{refine_level, BisectState};
+use mlgp_graph::rng::seeded;
+use mlgp_graph::{CsrGraph, Wgt};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each phase of a multilevel run (accumulated
+/// across all bisections for recursive k-way).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Coarsening (matching + contraction) — the paper's CTime.
+    pub coarsen: Duration,
+    /// Partitioning the coarsest graph — ITime.
+    pub init: Duration,
+    /// Refinement during uncoarsening — RTime.
+    pub refine: Duration,
+    /// Projecting partitions and rebuilding per-level state — PTime.
+    pub project: Duration,
+}
+
+impl PhaseTimes {
+    /// UTime = ITime + RTime + PTime (paper §4.1).
+    pub fn uncoarsen(&self) -> Duration {
+        self.init + self.refine + self.project
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> Duration {
+        self.coarsen + self.uncoarsen()
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            coarsen: self.coarsen + other.coarsen,
+            init: self.init + other.init,
+            refine: self.refine + other.refine,
+            project: self.project + other.project,
+        }
+    }
+}
+
+/// Output of a multilevel bisection.
+#[derive(Clone, Debug)]
+pub struct BisectionResult {
+    /// Side (0/1) per vertex.
+    pub part: Vec<u8>,
+    /// Edge-cut of the final partition.
+    pub cut: Wgt,
+    /// Vertex weight per side.
+    pub pwgts: [Wgt; 2],
+    /// Number of levels in the hierarchy (1 = no coarsening happened).
+    pub levels: usize,
+    /// Phase timings.
+    pub times: PhaseTimes,
+}
+
+/// Bisect into two halves of (near-)equal vertex weight.
+pub fn bisect(g: &CsrGraph, cfg: &MlConfig) -> BisectionResult {
+    let total = g.total_vwgt();
+    let half = total / 2;
+    bisect_targets(g, cfg, [half, total - half])
+}
+
+/// Bisect with explicit per-side weight targets (used by recursive k-way
+/// for non-power-of-two part counts).
+pub fn bisect_targets(g: &CsrGraph, cfg: &MlConfig, target: [Wgt; 2]) -> BisectionResult {
+    assert_eq!(
+        target[0] + target[1],
+        g.total_vwgt(),
+        "targets must sum to the total vertex weight"
+    );
+    let n = g.n();
+    if n == 0 {
+        return BisectionResult {
+            part: Vec::new(),
+            cut: 0,
+            pwgts: [0, 0],
+            levels: 0,
+            times: PhaseTimes::default(),
+        };
+    }
+    let mut rng = seeded(cfg.seed);
+    let bt = BalanceTargets::new(target, cfg.imbalance);
+    let mut times = PhaseTimes::default();
+
+    // Coarsening phase.
+    let t = Instant::now();
+    let h = coarsen(g, cfg, &mut rng);
+    times.coarsen = t.elapsed();
+
+    // Initial partitioning of the coarsest graph.
+    let t = Instant::now();
+    let coarse_part = initial_partition(h.coarsest(), &bt, cfg.initial, cfg.trials(), &mut rng);
+    times.init = t.elapsed();
+
+    // Refine the coarsest-level partition, then uncoarsen level by level.
+    let t = Instant::now();
+    let mut state = BisectState::new(h.coarsest(), coarse_part);
+    refine_level(&mut state, &bt, cfg.refinement, cfg, n);
+    times.refine += t.elapsed();
+    let mut part = std::mem::take(&mut state.part);
+    drop(state);
+    for level in (0..h.levels() - 1).rev() {
+        let t = Instant::now();
+        let fine_part = h.project(level, &part);
+        let mut state = BisectState::new(&h.graphs[level], fine_part);
+        times.project += t.elapsed();
+        let t = Instant::now();
+        refine_level(&mut state, &bt, cfg.refinement, cfg, n);
+        times.refine += t.elapsed();
+        part = std::mem::take(&mut state.part);
+    }
+    let final_state = BisectState::new(g, part);
+    BisectionResult {
+        cut: final_state.cut,
+        pwgts: final_state.pwgts,
+        part: final_state.part,
+        levels: h.levels(),
+        times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InitialPartitioning, MatchingScheme, RefinementPolicy};
+    use crate::metrics::edge_cut_bisection;
+    use mlgp_graph::generators::{grid2d, lshape, powerlaw, tri_mesh2d};
+
+    #[test]
+    fn grid_bisection_near_optimal() {
+        // 32x32 grid: optimal bisection cut = 32. The multilevel default
+        // should come close.
+        let g = grid2d(32, 32);
+        let r = bisect(&g, &MlConfig::default());
+        assert_eq!(r.cut, edge_cut_bisection(&g, &r.part));
+        assert!(r.cut <= 48, "cut {}", r.cut);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
+        assert!(bt.balanced(r.pwgts), "{:?}", r.pwgts);
+        assert!(r.levels > 1);
+    }
+
+    #[test]
+    fn all_scheme_combinations_produce_valid_bisections() {
+        let g = tri_mesh2d(20, 20, 6);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
+        for matching in MatchingScheme::all() {
+            for initial in InitialPartitioning::all() {
+                for refinement in RefinementPolicy::evaluated() {
+                    let cfg = MlConfig {
+                        matching,
+                        initial,
+                        refinement,
+                        ..MlConfig::default()
+                    };
+                    let r = bisect(&g, &cfg);
+                    assert_eq!(r.cut, edge_cut_bisection(&g, &r.part));
+                    assert!(
+                        bt.balanced(r.pwgts),
+                        "{matching:?}/{initial:?}/{refinement:?}: {:?}",
+                        r.pwgts
+                    );
+                    assert!(r.cut > 0 && r.cut < g.total_adjwgt() / 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_targets_respected() {
+        let g = grid2d(20, 20);
+        let total = g.total_vwgt();
+        let t0 = total / 4;
+        let cfg = MlConfig::default();
+        let r = bisect_targets(&g, &cfg, [t0, total - t0]);
+        let bt = BalanceTargets::new([t0, total - t0], cfg.imbalance);
+        assert!(bt.balanced(r.pwgts), "{:?} target {t0}", r.pwgts);
+    }
+
+    #[test]
+    fn refinement_improves_over_none() {
+        let g = lshape(40);
+        let none = bisect(
+            &g,
+            &MlConfig {
+                refinement: RefinementPolicy::None,
+                ..MlConfig::default()
+            },
+        );
+        let refined = bisect(&g, &MlConfig::default());
+        assert!(
+            refined.cut <= none.cut,
+            "refined {} vs unrefined {}",
+            refined.cut,
+            none.cut
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = tri_mesh2d(15, 15, 8);
+        let a = bisect(&g, &MlConfig::default());
+        let b = bisect(&g, &MlConfig::default());
+        assert_eq!(a.part, b.part);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn small_graph_skips_coarsening() {
+        let g = grid2d(6, 6);
+        let r = bisect(&g, &MlConfig::default());
+        assert_eq!(r.levels, 1);
+        assert!(r.cut >= 6); // optimal is 6
+        assert!(r.cut <= 10);
+    }
+
+    #[test]
+    fn handles_powerlaw_graphs() {
+        let g = powerlaw(4000, 2, 5);
+        let r = bisect(&g, &MlConfig::default());
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
+        assert!(bt.balanced(r.pwgts));
+        assert_eq!(r.cut, edge_cut_bisection(&g, &r.part));
+    }
+
+    #[test]
+    fn times_are_recorded() {
+        let g = grid2d(40, 40);
+        let r = bisect(&g, &MlConfig::default());
+        assert!(r.times.coarsen > Duration::ZERO);
+        assert!(r.times.uncoarsen() > Duration::ZERO);
+        assert_eq!(
+            r.times.total(),
+            r.times.coarsen + r.times.init + r.times.refine + r.times.project
+        );
+    }
+}

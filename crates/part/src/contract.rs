@@ -1,0 +1,175 @@
+//! Graph contraction: build `G_{i+1}` from `G_i` and a matching.
+//!
+//! Multinode weights are the sums of their constituents' weights, parallel
+//! edges fold by summing weights, and internal (contracted) edges disappear
+//! from the structure but are accounted in `cewgt` so that HCM can measure
+//! edge density at deeper levels. This maintains the key identity the paper
+//! uses: `W(E_{i+1}) = W(E_i) − W(M_i)`, and makes the coarse edge-cut of a
+//! partition equal the fine edge-cut of its projection.
+
+use mlgp_graph::{CsrGraph, Vid, Wgt};
+
+/// Result of one contraction step.
+#[derive(Clone, Debug)]
+pub struct Contraction {
+    /// The coarser graph.
+    pub graph: CsrGraph,
+    /// Per-coarse-vertex total weight of edges contracted inside it (input
+    /// `cewgt` of both constituents plus the matched edge's weight).
+    pub cewgt: Vec<Wgt>,
+}
+
+/// Contract `g` according to `cmap` (from [`crate::matching::Matching::to_cmap`]).
+///
+/// `cewgt` carries the contracted-edge weight of each fine vertex (zeros at
+/// the finest level).
+pub fn contract(g: &CsrGraph, cmap: &[Vid], ncoarse: usize, cewgt: &[Wgt]) -> Contraction {
+    let n = g.n();
+    assert_eq!(cmap.len(), n);
+    assert_eq!(cewgt.len(), n);
+    // Constituents of each coarse vertex, in coarse order: counting sort.
+    let mut ccount = vec![0u32; ncoarse + 1];
+    for &c in cmap {
+        ccount[c as usize + 1] += 1;
+    }
+    for i in 0..ncoarse {
+        ccount[i + 1] += ccount[i];
+    }
+    let mut members = vec![0 as Vid; n];
+    {
+        let mut cursor = ccount[..ncoarse].to_vec();
+        for v in 0..n as Vid {
+            let c = cmap[v as usize] as usize;
+            members[cursor[c] as usize] = v;
+            cursor[c] += 1;
+        }
+    }
+    let mut xadj = vec![0u32; ncoarse + 1];
+    let mut adjncy: Vec<Vid> = Vec::with_capacity(g.nnz());
+    let mut adjwgt: Vec<Wgt> = Vec::with_capacity(g.nnz());
+    let mut cvwgt = vec![0 as Wgt; ncoarse];
+    let mut ccewgt = vec![0 as Wgt; ncoarse];
+    // Scratch: position of coarse neighbor `u` in the row being built, or
+    // u32::MAX. Reset incrementally after each row.
+    let mut pos = vec![u32::MAX; ncoarse];
+    for c in 0..ncoarse {
+        let row_start = adjncy.len();
+        let mut internal = 0 as Wgt;
+        for &v in &members[ccount[c] as usize..ccount[c + 1] as usize] {
+            cvwgt[c] += g.vwgt()[v as usize];
+            ccewgt[c] += cewgt[v as usize];
+            for (u, w) in g.adj(v) {
+                let cu = cmap[u as usize];
+                if cu as usize == c {
+                    internal += w; // counted from both endpoints => 2w total
+                    continue;
+                }
+                let p = pos[cu as usize];
+                if p == u32::MAX {
+                    pos[cu as usize] = adjncy.len() as u32;
+                    adjncy.push(cu);
+                    adjwgt.push(w);
+                } else {
+                    adjwgt[p as usize] += w;
+                }
+            }
+        }
+        // Each internal edge was seen from both endpoints.
+        debug_assert_eq!(internal % 2, 0);
+        ccewgt[c] += internal / 2;
+        for &u in &adjncy[row_start..] {
+            pos[u as usize] = u32::MAX;
+        }
+        xadj[c + 1] = adjncy.len() as u32;
+    }
+    Contraction {
+        graph: CsrGraph::from_parts_unchecked(xadj, adjncy, cvwgt, adjwgt),
+        cewgt: ccewgt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchingScheme;
+    use crate::matching::compute_matching;
+    use mlgp_graph::generators::{grid2d, tri_mesh2d};
+    use mlgp_graph::rng::seeded;
+    use mlgp_graph::GraphBuilder;
+
+    #[test]
+    fn contract_square_pairwise() {
+        // Square 0-1-2-3-0; match (0,1) and (2,3).
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        let g = b.build();
+        let cmap = vec![0, 0, 1, 1];
+        let c = contract(&g, &cmap, 2, &[0; 4]);
+        assert_eq!(c.graph.n(), 2);
+        assert_eq!(c.graph.m(), 1);
+        // Two parallel fine edges (1-2 and 3-0) fold to weight 2.
+        assert_eq!(c.graph.edge_weights(0), &[2]);
+        assert_eq!(c.graph.vwgt(), &[2, 2]);
+        // One unit edge contracted inside each multinode.
+        assert_eq!(c.cewgt, vec![1, 1]);
+        assert!(c.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn weight_conservation_identity() {
+        // W(E_{i+1}) = W(E_i) − W(M_i) for any matching-based contraction.
+        let g = tri_mesh2d(10, 8, 5);
+        let cewgt = vec![0; g.n()];
+        for scheme in MatchingScheme::all() {
+            let m = compute_matching(&g, scheme, &cewgt, &mut seeded(3));
+            let matched_weight: Wgt = (0..g.n() as Vid)
+                .map(|v| {
+                    let p = m.partner[v as usize];
+                    if p > v {
+                        g.adj(v).find(|&(u, _)| u == p).unwrap().1
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            let (cmap, nc) = m.to_cmap();
+            let c = contract(&g, &cmap, nc, &cewgt);
+            assert_eq!(
+                c.graph.total_adjwgt(),
+                g.total_adjwgt() - matched_weight,
+                "{scheme:?}"
+            );
+            assert_eq!(c.graph.total_vwgt(), g.total_vwgt());
+            assert!(c.graph.validate().is_ok());
+            // cewgt sums to the total contracted weight.
+            assert_eq!(c.cewgt.iter().sum::<Wgt>(), matched_weight);
+        }
+    }
+
+    #[test]
+    fn projected_cut_is_preserved() {
+        // A coarse partition's cut equals the projected fine partition's cut.
+        let g = grid2d(8, 6);
+        let cewgt = vec![0; g.n()];
+        let m = compute_matching(&g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(11));
+        let (cmap, nc) = m.to_cmap();
+        let c = contract(&g, &cmap, nc, &cewgt);
+        // Arbitrary coarse bisection.
+        let cpart: Vec<u8> = (0..nc).map(|i| (i % 2) as u8).collect();
+        let fpart: Vec<u8> = (0..g.n()).map(|v| cpart[cmap[v] as usize]).collect();
+        assert_eq!(
+            crate::metrics::edge_cut_bisection(&c.graph, &cpart),
+            crate::metrics::edge_cut_bisection(&g, &fpart)
+        );
+    }
+
+    #[test]
+    fn identity_contraction() {
+        // Empty matching: coarse graph == fine graph.
+        let g = grid2d(4, 4);
+        let cmap: Vec<Vid> = (0..g.n() as Vid).collect();
+        let c = contract(&g, &cmap, g.n(), &vec![0; g.n()]);
+        assert_eq!(c.graph, g);
+        assert_eq!(c.cewgt, vec![0; g.n()]);
+    }
+}

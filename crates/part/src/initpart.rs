@@ -1,0 +1,300 @@
+//! Partitioning the coarsest graph (§3.2 of the paper).
+//!
+//! Three algorithms: GGP (breadth-first graph growing), GGGP (greedy graph
+//! growing, picking the frontier vertex that increases the cut least), and
+//! spectral bisection. GGP/GGGP run several trials from random seeds and
+//! keep the best cut; the paper found GGGP with 5 trials consistently best.
+
+use crate::config::InitialPartitioning;
+use crate::metrics::edge_cut_bisection;
+use crate::refine::fm::BalanceTargets;
+use crate::refine::GainQueue;
+use mlgp_graph::{CsrGraph, Vid, Wgt};
+use rand::{Rng, RngExt};
+use std::collections::VecDeque;
+
+/// Compute an initial bisection of the (coarse) graph.
+///
+/// Part 0 is grown to roughly `bt.target[0]` vertex weight. Returns the 0/1
+/// partition vector.
+pub fn initial_partition<R: Rng>(
+    g: &CsrGraph,
+    bt: &BalanceTargets,
+    scheme: InitialPartitioning,
+    trials: usize,
+    rng: &mut R,
+) -> Vec<u8> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    match scheme {
+        InitialPartitioning::GraphGrowing => best_of(g, bt, trials, rng, grow_bfs),
+        InitialPartitioning::GreedyGraphGrowing => best_of(g, bt, trials, rng, grow_greedy),
+        InitialPartitioning::Spectral => spectral_split(g, bt),
+    }
+}
+
+/// Run `grow` from `trials` random seeds, keep the (balanced-first) best.
+fn best_of<R: Rng>(
+    g: &CsrGraph,
+    bt: &BalanceTargets,
+    trials: usize,
+    rng: &mut R,
+    grow: fn(&CsrGraph, &BalanceTargets, Vid) -> Vec<u8>,
+) -> Vec<u8> {
+    let n = g.n();
+    let mut best: Option<(bool, Wgt, Vec<u8>)> = None;
+    for _ in 0..trials.max(1) {
+        let start = rng.random_range(0..n) as Vid;
+        let part = grow(g, bt, start);
+        let cut = edge_cut_bisection(g, &part);
+        let pw = part_weights(g, &part);
+        let balanced = bt.balanced(pw);
+        let better = match &best {
+            None => true,
+            Some((bb, bc, _)) => (balanced && !bb) || (balanced == *bb && cut < *bc),
+        };
+        if better {
+            best = Some((balanced, cut, part));
+        }
+    }
+    best.unwrap().2
+}
+
+fn part_weights(g: &CsrGraph, part: &[u8]) -> [Wgt; 2] {
+    let mut pw = [0, 0];
+    for v in 0..g.n() {
+        pw[part[v] as usize] += g.vwgt()[v];
+    }
+    pw
+}
+
+/// GGP: grow part 0 breadth-first from `start` until it reaches its target
+/// weight. Disconnected graphs continue from the lowest unvisited vertex.
+fn grow_bfs(g: &CsrGraph, bt: &BalanceTargets, start: Vid) -> Vec<u8> {
+    let n = g.n();
+    let mut part = vec![1u8; n];
+    let mut w0 = 0 as Wgt;
+    let mut queue = VecDeque::new();
+    let mut seen = vec![false; n];
+    let mut next_seed = 0 as Vid;
+    queue.push_back(start);
+    seen[start as usize] = true;
+    while w0 < bt.target[0] {
+        let v = match queue.pop_front() {
+            Some(v) => v,
+            None => {
+                // Component exhausted; restart from an unvisited vertex.
+                while (next_seed as usize) < n && seen[next_seed as usize] {
+                    next_seed += 1;
+                }
+                if next_seed as usize >= n {
+                    break;
+                }
+                seen[next_seed as usize] = true;
+                next_seed
+            }
+        };
+        // Do not overshoot the bound by a large vertex unless nothing was
+        // added yet.
+        if w0 > 0 && w0 + g.vwgt()[v as usize] > bt.ub[0] {
+            continue;
+        }
+        part[v as usize] = 0;
+        w0 += g.vwgt()[v as usize];
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    part
+}
+
+/// GGGP: grow part 0 from `start`, always absorbing the frontier vertex
+/// whose inclusion increases the cut least (equivalently, maximizes
+/// `2·conn(u) − wdeg(u)` where `conn` is the weight of edges into the grown
+/// region).
+fn grow_greedy(g: &CsrGraph, bt: &BalanceTargets, start: Vid) -> Vec<u8> {
+    let n = g.n();
+    let mut part = vec![1u8; n];
+    let mut conn = vec![0 as Wgt; n];
+    let mut queue = GainQueue::with_capacity(64);
+    let mut w0 = 0 as Wgt;
+    let mut next_seed = 0 as Vid;
+    // Vertices rejected because they would overshoot the weight bound; they
+    // must not be offered again (prevents a reseed livelock).
+    let mut banned = vec![false; n];
+    let key = |g: &CsrGraph, conn: &[Wgt], u: Vid| 2 * conn[u as usize] - g.weighted_degree(u);
+    let absorb = |v: Vid,
+                      part: &mut Vec<u8>,
+                      conn: &mut Vec<Wgt>,
+                      queue: &mut GainQueue,
+                      w0: &mut Wgt| {
+        part[v as usize] = 0;
+        *w0 += g.vwgt()[v as usize];
+        for (u, w) in g.adj(v) {
+            if part[u as usize] == 1 {
+                conn[u as usize] += w;
+                queue.push(u, key(g, conn, u));
+            }
+        }
+    };
+    absorb(start, &mut part, &mut conn, &mut queue, &mut w0);
+    while w0 < bt.target[0] {
+        let popped = queue.pop_valid(|u, k| {
+            part[u as usize] == 1 && !banned[u as usize] && key(g, &conn, u) == k
+        });
+        let v = match popped {
+            Some((v, _)) => v,
+            None => {
+                // Frontier empty (component exhausted): reseed.
+                while (next_seed as usize) < n
+                    && (part[next_seed as usize] == 0 || banned[next_seed as usize])
+                {
+                    next_seed += 1;
+                }
+                if next_seed as usize >= n {
+                    break;
+                }
+                next_seed
+            }
+        };
+        if w0 > 0 && w0 + g.vwgt()[v as usize] > bt.ub[0] {
+            banned[v as usize] = true;
+            continue;
+        }
+        absorb(v, &mut part, &mut conn, &mut queue, &mut w0);
+    }
+    part
+}
+
+/// Spectral bisection: split at the weighted median of the Fiedler vector.
+fn spectral_split(g: &CsrGraph, bt: &BalanceTargets) -> Vec<u8> {
+    let (_, fiedler) = mlgp_linalg::fiedler_vector(g, 0x5bec);
+    split_by_values(g, &fiedler, bt)
+}
+
+/// Assign the vertices with smallest `values` to part 0 until its target
+/// weight is met. Shared by spectral initial partitioning and the spectral
+/// baselines in `mlgp-spectral`.
+pub fn split_by_values(g: &CsrGraph, values: &[f64], bt: &BalanceTargets) -> Vec<u8> {
+    let n = g.n();
+    assert_eq!(values.len(), n);
+    let mut order: Vec<Vid> = (0..n as Vid).collect();
+    order.sort_by(|&a, &b| {
+        values[a as usize]
+            .partial_cmp(&values[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut part = vec![1u8; n];
+    let mut w0 = 0;
+    for &v in &order {
+        if w0 >= bt.target[0] {
+            break;
+        }
+        part[v as usize] = 0;
+        w0 += g.vwgt()[v as usize];
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::imbalance;
+    use mlgp_graph::generators::{grid2d, tri_mesh2d};
+    use mlgp_graph::rng::seeded;
+
+    fn check_scheme(g: &CsrGraph, scheme: InitialPartitioning) -> (Wgt, [Wgt; 2]) {
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.05);
+        let mut rng = seeded(42);
+        let part = initial_partition(g, &bt, scheme, scheme.default_trials(), &mut rng);
+        let cut = edge_cut_bisection(g, &part);
+        let pw = part_weights(g, &part);
+        assert!(cut > 0, "{scheme:?}: zero cut on connected graph");
+        assert!(bt.balanced(pw), "{scheme:?}: imbalanced {pw:?}");
+        (cut, pw)
+    }
+
+    #[test]
+    fn all_schemes_balanced_on_grid() {
+        let g = grid2d(12, 12);
+        for scheme in InitialPartitioning::all() {
+            check_scheme(&g, scheme);
+        }
+    }
+
+    #[test]
+    fn all_schemes_balanced_on_mesh() {
+        let g = tri_mesh2d(13, 11, 4);
+        for scheme in InitialPartitioning::all() {
+            check_scheme(&g, scheme);
+        }
+    }
+
+    #[test]
+    fn gggp_beats_or_matches_ggp_on_average() {
+        // Accumulate cuts over seeds: GGGP should not lose to plain BFS
+        // growing in aggregate (the paper's observation).
+        let g = grid2d(16, 16);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.05);
+        let mut total = [0 as Wgt; 2];
+        for seed in 0..8 {
+            let mut rng = seeded(seed);
+            let ggp = initial_partition(&g, &bt, InitialPartitioning::GraphGrowing, 10, &mut rng);
+            let mut rng = seeded(seed);
+            let gggp =
+                initial_partition(&g, &bt, InitialPartitioning::GreedyGraphGrowing, 5, &mut rng);
+            total[0] += edge_cut_bisection(&g, &ggp);
+            total[1] += edge_cut_bisection(&g, &gggp);
+        }
+        assert!(total[1] <= total[0], "GGGP {} vs GGP {}", total[1], total[0]);
+    }
+
+    #[test]
+    fn spectral_finds_natural_split() {
+        // Grid 20x10: spectral should cut close to the short dimension (10).
+        let g = grid2d(20, 10);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
+        let part = spectral_split(&g, &bt);
+        let cut = edge_cut_bisection(&g, &part);
+        assert!(cut <= 14, "spectral cut {cut}");
+    }
+
+    #[test]
+    fn respects_uneven_targets() {
+        let g = grid2d(10, 10);
+        let bt = BalanceTargets::new([25, 75], 1.05);
+        let mut rng = seeded(7);
+        for scheme in InitialPartitioning::all() {
+            let part =
+                initial_partition(&g, &bt, scheme, scheme.default_trials(), &mut rng);
+            let pw = part_weights(&g, &part);
+            assert!(
+                (25..=27).contains(&pw[0]),
+                "{scheme:?}: part0 weight {} target 25",
+                pw[0]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = grid2d(2, 1);
+        let bt = BalanceTargets::even(2, 1.0);
+        let mut rng = seeded(1);
+        for scheme in InitialPartitioning::all() {
+            let part = initial_partition(&g, &bt, scheme, 1, &mut rng);
+            assert_eq!(part.len(), 2);
+            let pw = part_weights(&g, &part);
+            assert_eq!(pw, [1, 1], "{scheme:?}");
+        }
+        let _ = imbalance(&g, &[0, 1], 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Maximal matchings for coarsening (§3.1 of the paper).
+//!
+//! All four schemes visit the vertices in random order and match each
+//! still-unmatched vertex with one of its unmatched neighbors:
+//!
+//! * **RM** picks a random unmatched neighbor;
+//! * **HEM** picks the neighbor across the heaviest edge (maximizing the
+//!   matched weight `W(M)` and hence, since `W(E_{i+1}) = W(E_i) − W(M_i)`,
+//!   minimizing the coarse graph's edge weight);
+//! * **LEM** picks the lightest edge (the contrast scheme);
+//! * **HCM** picks the neighbor maximizing the *edge density* of the merged
+//!   multinode, `(cewgt(u) + cewgt(v) + w(u,v)) / (s(s−1)/2)` with
+//!   `s = vwgt(u) + vwgt(v)`, approximating the clique-finding coarseners.
+//!
+//! All run in `O(|E|)`.
+
+use crate::config::MatchingScheme;
+use mlgp_graph::rng::random_order;
+use mlgp_graph::{CsrGraph, Vid, Wgt};
+use rand::{Rng, RngExt};
+
+/// A matching: `partner[v] == v` iff `v` is unmatched.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// Matched partner of each vertex (self if unmatched).
+    pub partner: Vec<Vid>,
+    /// Number of matched pairs.
+    pub pairs: usize,
+}
+
+impl Matching {
+    /// Validate matching invariants: symmetry and no double-matching.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        if self.partner.len() != g.n() {
+            return Err("partner length mismatch".into());
+        }
+        let mut pairs = 0;
+        for v in 0..g.n() as Vid {
+            let p = self.partner[v as usize];
+            if p as usize >= g.n() {
+                return Err(format!("partner of {v} out of range"));
+            }
+            if self.partner[p as usize] != v {
+                return Err(format!("matching not symmetric at {v}"));
+            }
+            if p != v {
+                if !g.neighbors(v).contains(&p) {
+                    return Err(format!("matched pair ({v},{p}) is not an edge"));
+                }
+                if p > v {
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs != self.pairs {
+            return Err(format!("pair count {} != recorded {}", pairs, self.pairs));
+        }
+        Ok(())
+    }
+
+    /// Check maximality: no edge with both endpoints unmatched.
+    pub fn is_maximal(&self, g: &CsrGraph) -> bool {
+        for v in 0..g.n() as Vid {
+            if self.partner[v as usize] == v {
+                for &u in g.neighbors(v) {
+                    if self.partner[u as usize] == u {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Derive the coarse-vertex map: `(cmap, ncoarse)` where matched pairs
+    /// share a coarse id. Coarse ids are assigned in fine-vertex order.
+    pub fn to_cmap(&self) -> (Vec<Vid>, usize) {
+        let n = self.partner.len();
+        let mut cmap = vec![Vid::MAX; n];
+        let mut next = 0 as Vid;
+        for v in 0..n as Vid {
+            if cmap[v as usize] == Vid::MAX {
+                cmap[v as usize] = next;
+                let p = self.partner[v as usize];
+                if p != v {
+                    cmap[p as usize] = next;
+                }
+                next += 1;
+            }
+        }
+        (cmap, next as usize)
+    }
+}
+
+/// Compute a maximal matching with the given scheme.
+///
+/// `cewgt[v]` is the total weight of edges already contracted inside
+/// multinode `v` (zeros at the finest level); only HCM consults it.
+pub fn compute_matching<R: Rng>(
+    g: &CsrGraph,
+    scheme: MatchingScheme,
+    cewgt: &[Wgt],
+    rng: &mut R,
+) -> Matching {
+    let n = g.n();
+    assert_eq!(cewgt.len(), n);
+    let mut partner: Vec<Vid> = (0..n as Vid).collect();
+    let mut pairs = 0;
+    let order = random_order(rng, n);
+    for &v in &order {
+        if partner[v as usize] != v {
+            continue; // already matched
+        }
+        let chosen = match scheme {
+            MatchingScheme::Random => pick_random(g, v, &partner, rng),
+            MatchingScheme::HeavyEdge => pick_extreme_edge(g, v, &partner, true),
+            MatchingScheme::LightEdge => pick_extreme_edge(g, v, &partner, false),
+            MatchingScheme::HeavyClique => pick_densest(g, v, &partner, cewgt),
+        };
+        if let Some(u) = chosen {
+            partner[v as usize] = u;
+            partner[u as usize] = v;
+            pairs += 1;
+        }
+    }
+    Matching { partner, pairs }
+}
+
+/// RM: uniformly random unmatched neighbor (reservoir sampling over the
+/// adjacency list, equivalent to scanning a randomly permuted list).
+fn pick_random<R: Rng>(g: &CsrGraph, v: Vid, partner: &[Vid], rng: &mut R) -> Option<Vid> {
+    let mut chosen = None;
+    let mut count = 0u32;
+    for &u in g.neighbors(v) {
+        if partner[u as usize] == u {
+            count += 1;
+            if rng.random_range(0..count) == 0 {
+                chosen = Some(u);
+            }
+        }
+    }
+    chosen
+}
+
+/// HEM (`heaviest = true`) / LEM (`false`): extreme-weight unmatched edge.
+fn pick_extreme_edge(g: &CsrGraph, v: Vid, partner: &[Vid], heaviest: bool) -> Option<Vid> {
+    let mut best: Option<(Wgt, Vid)> = None;
+    for (u, w) in g.adj(v) {
+        if partner[u as usize] != u {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bw, _)) => {
+                if heaviest {
+                    w > bw
+                } else {
+                    w < bw
+                }
+            }
+        };
+        if better {
+            best = Some((w, u));
+        }
+    }
+    best.map(|(_, u)| u)
+}
+
+/// HCM: unmatched neighbor maximizing the edge density of the merged node.
+fn pick_densest(g: &CsrGraph, v: Vid, partner: &[Vid], cewgt: &[Wgt]) -> Option<Vid> {
+    let mut best: Option<(f64, Vid)> = None;
+    let vw = g.vwgt()[v as usize];
+    let cv = cewgt[v as usize];
+    for (u, w) in g.adj(v) {
+        if partner[u as usize] != u {
+            continue;
+        }
+        let s = (vw + g.vwgt()[u as usize]) as f64;
+        let max_internal = s * (s - 1.0) / 2.0;
+        let internal = (cv + cewgt[u as usize] + w) as f64;
+        let density = if max_internal > 0.0 {
+            internal / max_internal
+        } else {
+            0.0
+        };
+        if best.is_none_or(|(bd, _)| density > bd) {
+            best = Some((density, u));
+        }
+    }
+    best.map(|(_, u)| u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlgp_graph::generators::{grid2d, tri_mesh2d};
+    use mlgp_graph::rng::seeded;
+    use mlgp_graph::GraphBuilder;
+
+    fn check_all_schemes(g: &CsrGraph) {
+        let cewgt = vec![0; g.n()];
+        for scheme in MatchingScheme::all() {
+            let mut rng = seeded(17);
+            let m = compute_matching(g, scheme, &cewgt, &mut rng);
+            m.validate(g).unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            assert!(m.is_maximal(g), "{scheme:?} not maximal");
+        }
+    }
+
+    #[test]
+    fn valid_and_maximal_on_grid() {
+        check_all_schemes(&grid2d(9, 7));
+    }
+
+    #[test]
+    fn valid_and_maximal_on_mesh() {
+        check_all_schemes(&tri_mesh2d(12, 9, 3));
+    }
+
+    #[test]
+    fn hem_prefers_heavy_edges() {
+        // Star: center 0 with edges of weight 1,1,10 to 1,2,3. HEM from 0
+        // must take the weight-10 edge.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 1)
+            .add_weighted_edge(0, 2, 1)
+            .add_weighted_edge(0, 3, 10);
+        let g = b.build();
+        let u = pick_extreme_edge(&g, 0, &[0, 1, 2, 3], true);
+        assert_eq!(u, Some(3));
+        let u = pick_extreme_edge(&g, 0, &[0, 1, 2, 3], false);
+        assert!(u == Some(1) || u == Some(2));
+    }
+
+    #[test]
+    fn matched_weight_hem_ge_lem() {
+        // On a weighted mesh, HEM's matched weight should (statistically)
+        // dominate LEM's; with a fixed seed this is deterministic.
+        let mut b = GraphBuilder::new(36);
+        let g0 = grid2d(6, 6);
+        for v in 0..36u32 {
+            for (u, _) in g0.adj(v) {
+                if u > v {
+                    b.add_weighted_edge(v, u, 1 + ((v * 7 + u * 13) % 9) as i64);
+                }
+            }
+        }
+        let g = b.build();
+        let cewgt = vec![0; g.n()];
+        let weight_of = |m: &Matching| -> Wgt {
+            (0..g.n() as Vid)
+                .map(|v| {
+                    let p = m.partner[v as usize];
+                    if p > v {
+                        g.adj(v).find(|&(u, _)| u == p).map(|(_, w)| w).unwrap_or(0)
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
+        let hem = compute_matching(&g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(5));
+        let lem = compute_matching(&g, MatchingScheme::LightEdge, &cewgt, &mut seeded(5));
+        assert!(weight_of(&hem) > weight_of(&lem));
+    }
+
+    #[test]
+    fn cmap_assigns_shared_ids() {
+        let m = Matching {
+            partner: vec![1, 0, 2, 4, 3],
+            pairs: 2,
+        };
+        let (cmap, nc) = m.to_cmap();
+        assert_eq!(nc, 3);
+        assert_eq!(cmap[0], cmap[1]);
+        assert_eq!(cmap[3], cmap[4]);
+        assert_ne!(cmap[0], cmap[2]);
+        assert!(cmap.iter().all(|&c| (c as usize) < nc));
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = GraphBuilder::new(1).build();
+        let m = compute_matching(&g, MatchingScheme::HeavyEdge, &[0], &mut seeded(1));
+        assert_eq!(m.pairs, 0);
+        let (cmap, nc) = m.to_cmap();
+        assert_eq!((cmap, nc), (vec![0], 1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid2d(8, 8);
+        let cewgt = vec![0; g.n()];
+        let a = compute_matching(&g, MatchingScheme::Random, &cewgt, &mut seeded(9));
+        let b = compute_matching(&g, MatchingScheme::Random, &cewgt, &mut seeded(9));
+        assert_eq!(a.partner, b.partner);
+    }
+}

@@ -1,0 +1,110 @@
+//! Lazy max-gain priority queue.
+//!
+//! The paper stores gains in a hash table with O(1) max extraction; we use a
+//! binary heap with lazy invalidation: every gain update pushes a fresh
+//! entry, and stale entries (vertex moved, or gain changed since the push)
+//! are discarded at pop time. Amortized `O(log n)` per operation with the
+//! same refinement semantics.
+
+use mlgp_graph::{Vid, Wgt};
+use std::collections::BinaryHeap;
+
+/// Max-heap of `(gain, vertex)` entries with lazy staleness checks.
+#[derive(Default)]
+pub struct GainQueue {
+    heap: BinaryHeap<(Wgt, Vid)>,
+}
+
+impl GainQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    /// Record (vertex, gain). Older entries for the same vertex become
+    /// stale automatically.
+    #[inline]
+    pub fn push(&mut self, v: Vid, gain: Wgt) {
+        self.heap.push((gain, v));
+    }
+
+    /// Pop the highest-gain entry for which `valid(v, gain)` holds,
+    /// discarding stale entries along the way.
+    pub fn pop_valid<F: FnMut(Vid, Wgt) -> bool>(&mut self, mut valid: F) -> Option<(Vid, Wgt)> {
+        while let Some((gain, v)) = self.heap.pop() {
+            if valid(v, gain) {
+                return Some((v, gain));
+            }
+        }
+        None
+    }
+
+    /// Whether no entries remain (stale or not).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Number of stored entries, including stale ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_gain_order() {
+        let mut q = GainQueue::new();
+        q.push(1, 5);
+        q.push(2, 9);
+        q.push(3, -2);
+        assert_eq!(q.pop_valid(|_, _| true), Some((2, 9)));
+        assert_eq!(q.pop_valid(|_, _| true), Some((1, 5)));
+        assert_eq!(q.pop_valid(|_, _| true), Some((3, -2)));
+        assert_eq!(q.pop_valid(|_, _| true), None);
+    }
+
+    #[test]
+    fn skips_stale_entries() {
+        let mut q = GainQueue::new();
+        q.push(7, 10); // stale: gain changed to 3 below
+        q.push(7, 3);
+        let current = 3;
+        let got = q.pop_valid(|v, g| v == 7 && g == current);
+        assert_eq!(got, Some((7, 3)));
+    }
+
+    #[test]
+    fn filters_moved_vertices() {
+        let mut q = GainQueue::new();
+        q.push(1, 4);
+        q.push(2, 2);
+        let moved = [false, true, false];
+        assert_eq!(q.pop_valid(|v, _| !moved[v as usize]), Some((2, 2)));
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let mut q = GainQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(0, 1);
+        q.push(0, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Human-readable partition quality reports: the metrics bundle a user
+//! checks after partitioning (edge-cut, balance, communication volume,
+//! boundary size, per-part extremes).
+
+use crate::metrics::{
+    boundary_count, communication_volume, edge_cut_kway, fragmentation, imbalance, part_weights,
+};
+use mlgp_graph::{CsrGraph, Wgt};
+
+/// Summary statistics of a k-way partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionReport {
+    /// Number of parts.
+    pub nparts: usize,
+    /// Total edge-cut.
+    pub edge_cut: Wgt,
+    /// Total communication volume (distinct foreign parts over vertices).
+    pub comm_volume: usize,
+    /// Number of boundary vertices.
+    pub boundary: usize,
+    /// `max part weight / average part weight`.
+    pub imbalance: f64,
+    /// Lightest part weight.
+    pub min_part: Wgt,
+    /// Heaviest part weight.
+    pub max_part: Wgt,
+    /// Number of empty parts (0 unless `k > n` or the input was degenerate).
+    pub empty_parts: usize,
+    /// Extra connected fragments across parts (0 = every part connected).
+    pub fragments: usize,
+}
+
+impl PartitionReport {
+    /// Compute the report for `part` (labels in `0..nparts`).
+    pub fn new(g: &CsrGraph, part: &[u32], nparts: usize) -> Self {
+        let weights = part_weights(g, part, nparts);
+        Self {
+            nparts,
+            edge_cut: edge_cut_kway(g, part),
+            comm_volume: communication_volume(g, part),
+            boundary: boundary_count(g, part),
+            imbalance: imbalance(g, part, nparts),
+            min_part: weights.iter().copied().min().unwrap_or(0),
+            max_part: weights.iter().copied().max().unwrap_or(0),
+            empty_parts: weights.iter().filter(|&&w| w == 0).count(),
+            fragments: fragmentation(g, part, nparts),
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "parts:        {}", self.nparts)?;
+        writeln!(f, "edge-cut:     {}", self.edge_cut)?;
+        writeln!(f, "comm volume:  {}", self.comm_volume)?;
+        writeln!(f, "boundary:     {}", self.boundary)?;
+        writeln!(f, "imbalance:    {:.4}", self.imbalance)?;
+        writeln!(f, "fragments:    {}", self.fragments)?;
+        write!(
+            f,
+            "part weights: min {} / max {}{}",
+            self.min_part,
+            self.max_part,
+            if self.empty_parts > 0 {
+                format!(" ({} empty)", self.empty_parts)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MlConfig;
+    use crate::kway::kway_partition;
+    use mlgp_graph::generators::grid2d;
+
+    #[test]
+    fn report_on_clean_partition() {
+        let g = grid2d(8, 8);
+        let part: Vec<u32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        let r = PartitionReport::new(&g, &part, 2);
+        assert_eq!(r.edge_cut, 8);
+        assert_eq!(r.comm_volume, 16);
+        assert_eq!(r.boundary, 16);
+        assert_eq!((r.min_part, r.max_part), (32, 32));
+        assert_eq!(r.empty_parts, 0);
+        assert_eq!(r.fragments, 0);
+        assert!((r.imbalance - 1.0).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("edge-cut:     8"));
+        assert!(!text.contains("empty"));
+    }
+
+    #[test]
+    fn report_flags_empty_parts() {
+        let g = grid2d(3, 1);
+        let r = PartitionReport::new(&g, &[0, 0, 1], 4);
+        assert_eq!(r.empty_parts, 2);
+        assert!(r.to_string().contains("(2 empty)"));
+    }
+
+    #[test]
+    fn oversubscribed_k_does_not_panic() {
+        // k > n: recursive bisection must terminate and label within range.
+        let g = grid2d(3, 1);
+        let res = kway_partition(&g, 8, &MlConfig::default());
+        assert!(res.part.iter().all(|&p| p < 8));
+        let r = PartitionReport::new(&g, &res.part, 8);
+        assert!(r.empty_parts >= 5);
+        assert_eq!(r.edge_cut, res.edge_cut);
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's motivating pipeline, end to end: solve a sparse SPD system
+//! with a direct method, comparing fill-reducing orderings.
+//!
+//! Builds `A = L(G) + σI` for a 3D stiffness graph, orders with natural /
+//! MMD / MLND, factors numerically (LDLᵀ), and solves — showing that the
+//! symbolic opcounts of Figure 5 translate into real factorization time
+//! and memory.
+//!
+//! ```sh
+//! cargo run --release --example direct_solver
+//! ```
+
+use mlgp::order::{apply_shifted_laplacian, factor_laplacian};
+use mlgp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let g = mlgp::graph::generators::stiffness3d(14, 14, 14);
+    let n = g.n();
+    let shift = 1.0;
+    println!("system: n = {n}, nnz(A) = {} (3D stiffness + I)\n", g.nnz() + n);
+    let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12}",
+        "ordering", "nnz(L)", "factor(s)", "solve(s)", "rel. resid"
+    );
+    for (name, perm) in [
+        ("natural", Permutation::identity(n)),
+        ("mmd", mmd_order(&g)),
+        ("mlnd", mlnd_order(&g)),
+    ] {
+        let t = Instant::now();
+        let f = factor_laplacian(&g, shift, &perm);
+        let t_factor = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let x = f.solve(&b);
+        let t_solve = t.elapsed().as_secs_f64();
+        let ax = apply_shifted_laplacian(&g, shift, &x);
+        let resid = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            / bnorm;
+        println!(
+            "{name:<10} {:>12} {:>10.3} {:>10.4} {:>12.2e}",
+            f.nnz_l(),
+            t_factor,
+            t_solve,
+            resid
+        );
+    }
+    println!("\nthe ordering changes only fill and flops — every solve is exact to");
+    println!("machine precision. Factor time tracks the symbolic opcount of Figure 5.");
+}

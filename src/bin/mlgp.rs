@@ -1,0 +1,227 @@
+//! `mlgp` — command-line driver, in the spirit of the original `pmetis` /
+//! `onmetis` tools.
+//!
+//! ```text
+//! mlgp partition <graph> <k> [--report] [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
+//! mlgp order     <graph>     [--method mlnd|mmd|snd] [--out FILE]
+//! mlgp gen       <key> <out.graph> [--scale F]   # write a suite graph
+//! mlgp info      <graph>
+//! ```
+//!
+//! `<graph>` is either a Chaco/METIS `.graph` file, a MatrixMarket `.mtx`
+//! file, or `gen:<KEY>[@SCALE]` for a synthetic suite graph (e.g.
+//! `gen:4ELT`, `gen:BC31@0.1`).
+
+use mlgp::prelude::*;
+use mlgp_graph::generators;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("order") => cmd_order(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+mlgp — multilevel graph partitioning (Karypis-Kumar ICPP'95 reproduction)
+
+USAGE:
+  mlgp partition <graph> <k> [--report] [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
+  mlgp order     <graph>     [--method mlnd|mmd|snd] [--out FILE]
+  mlgp gen       <key> <out.graph> [--scale F]
+  mlgp info      <graph>
+
+<graph> is a .graph/.mtx file or gen:<KEY>[@SCALE] (see `mlgp gen` keys in
+DESIGN.md, e.g. gen:4ELT, gen:BC31@0.1).
+";
+
+/// Positional arguments and `(name, value)` option pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Parse `--flag value` style options out of an argument list; returns the
+/// positional arguments.
+fn split_opts(args: &[String]) -> Result<ParsedArgs<'_>, String> {
+    let mut pos = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            // A flag followed by another flag (or by nothing) is boolean.
+            match args.get(i + 1).map(String::as_str) {
+                Some(v) if !v.starts_with("--") => {
+                    opts.push((name, v));
+                    i += 2;
+                }
+                _ => {
+                    opts.push((name, "true"));
+                    i += 1;
+                }
+            }
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    Ok((pos, opts))
+}
+
+fn opt<'a>(opts: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    opts.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+fn load_graph(spec: &str) -> Result<CsrGraph, String> {
+    if let Some(genspec) = spec.strip_prefix("gen:") {
+        let (key, scale) = match genspec.split_once('@') {
+            Some((k, s)) => (
+                k,
+                s.parse::<f64>().map_err(|_| format!("bad scale `{s}`"))?,
+            ),
+            None => (genspec, 1.0),
+        };
+        let entry = generators::entry(key)
+            .ok_or_else(|| format!("unknown suite key `{key}` (see DESIGN.md §4)"))?;
+        Ok(entry.generate_scaled(scale))
+    } else {
+        mlgp_graph::io::read_graph_file(Path::new(spec)).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = split_opts(args)?;
+    let [spec, k] = pos.as_slice() else {
+        return Err(format!("partition needs <graph> <k>\n{USAGE}"));
+    };
+    let k: usize = k.parse().map_err(|_| format!("bad k `{k}`"))?;
+    if k < 1 {
+        return Err("k must be >= 1".into());
+    }
+    let method = opt(&opts, "method").unwrap_or("ml");
+    let seed: u64 = opt(&opts, "seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(4242);
+    let g = load_graph(spec)?;
+    eprintln!(
+        "graph: {} vertices, {} edges (avg degree {:.1})",
+        g.n(),
+        g.m(),
+        g.avg_degree()
+    );
+    let t = Instant::now();
+    let part: Vec<u32> = match method {
+        "ml" => kway_partition(&g, k, &MlConfig { seed, ..MlConfig::default() }).part,
+        "msb" => msb_kway(&g, k, &MsbConfig { seed, ..MsbConfig::default() }),
+        "msb-kl" => msb_kl_kway(&g, k, &MsbConfig { seed, ..MsbConfig::default() }),
+        "chaco" => chaco_ml_kway(&g, k, &ChacoMlConfig { seed, ..ChacoMlConfig::default() }),
+        other => return Err(format!("unknown method `{other}` (ml|msb|msb-kl|chaco)")),
+    };
+    let elapsed = t.elapsed();
+    let cut = edge_cut_kway(&g, &part);
+    println!(
+        "method={method} k={k} edge-cut={cut} imbalance={:.3} time={:.3}s",
+        imbalance(&g, &part, k),
+        elapsed.as_secs_f64()
+    );
+    if opt(&opts, "report").is_some_and(|v| v != "false") {
+        println!("{}", mlgp_part::PartitionReport::new(&g, &part, k));
+    }
+    if let Some(out) = opt(&opts, "out") {
+        let body: String = part.iter().map(|p| format!("{p}\n")).collect();
+        std::fs::write(out, body).map_err(|e| e.to_string())?;
+        eprintln!("partition vector written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_order(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = split_opts(args)?;
+    let [spec] = pos.as_slice() else {
+        return Err(format!("order needs <graph>\n{USAGE}"));
+    };
+    let method = opt(&opts, "method").unwrap_or("mlnd");
+    let g = load_graph(spec)?;
+    eprintln!("graph: {} vertices, {} edges", g.n(), g.m());
+    let t = Instant::now();
+    let perm = match method {
+        "mlnd" => mlnd_order(&g),
+        "mmd" => mmd_order(&g),
+        "snd" => snd_order(&g),
+        other => return Err(format!("unknown method `{other}` (mlnd|mmd|snd)")),
+    };
+    let elapsed = t.elapsed();
+    let stats = analyze_ordering(&g, &perm);
+    println!(
+        "method={method} nnz(L)={} opcount={:.3e} etree-height={} time={:.3}s",
+        stats.nnz_l,
+        stats.opcount,
+        stats.height,
+        elapsed.as_secs_f64()
+    );
+    if let Some(out) = opt(&opts, "out") {
+        let body: String = perm.perm().iter().map(|p| format!("{p}\n")).collect();
+        std::fs::write(out, body).map_err(|e| e.to_string())?;
+        eprintln!("permutation written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = split_opts(args)?;
+    let [key, out] = pos.as_slice() else {
+        return Err(format!("gen needs <key> <out.graph>\n{USAGE}"));
+    };
+    let scale: f64 = opt(&opts, "scale")
+        .map(|s| s.parse().map_err(|_| format!("bad scale `{s}`")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let entry =
+        generators::entry(key).ok_or_else(|| format!("unknown suite key `{key}`"))?;
+    let g = entry.generate_scaled(scale);
+    mlgp_graph::io::write_graph_file(&g, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "{key} ({}): {} vertices, {} edges -> {out}",
+        entry.paper_name,
+        g.n(),
+        g.m()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_opts(args)?;
+    let [spec] = pos.as_slice() else {
+        return Err(format!("info needs <graph>\n{USAGE}"));
+    };
+    let g = load_graph(spec)?;
+    let (ncomp, _) = mlgp_graph::connected_components(&g);
+    println!(
+        "vertices={} edges={} avg-degree={:.2} max-degree={} components={} total-vwgt={} total-adjwgt={}",
+        g.n(),
+        g.m(),
+        g.avg_degree(),
+        g.max_degree(),
+        ncomp,
+        g.total_vwgt(),
+        g.total_adjwgt()
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests of the `mlgp` command-line tool.
+
+use std::process::Command;
+
+fn mlgp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlgp"))
+}
+
+#[test]
+fn partition_generated_graph() {
+    let out = mlgp()
+        .args(["partition", "gen:4ELT@0.05", "4"])
+        .output()
+        .expect("spawn mlgp");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edge-cut="), "{stdout}");
+    assert!(stdout.contains("k=4"));
+}
+
+#[test]
+fn order_generated_graph_all_methods() {
+    for method in ["mlnd", "mmd", "snd"] {
+        let out = mlgp()
+            .args(["order", "gen:LS34@0.2", "--method", method])
+            .output()
+            .expect("spawn mlgp");
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("nnz(L)="), "{method}: {stdout}");
+    }
+}
+
+#[test]
+fn gen_then_partition_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("mlgp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("t.graph");
+    let out = mlgp()
+        .args(["gen", "BSP10", graph.to_str().unwrap(), "--scale", "0.1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let partfile = dir.join("t.part");
+    let out = mlgp()
+        .args([
+            "partition",
+            graph.to_str().unwrap(),
+            "2",
+            "--out",
+            partfile.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let labels = std::fs::read_to_string(&partfile).unwrap();
+    let count = labels.lines().count();
+    assert!(count > 100, "partition vector too short: {count}");
+    assert!(labels.lines().all(|l| l == "0" || l == "1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bare_report_flag_is_boolean() {
+    let out = mlgp()
+        .args(["partition", "gen:LS34@0.2", "2", "--report"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("comm volume"), "{stdout}");
+}
+
+#[test]
+fn info_reports_structure() {
+    let out = mlgp().args(["info", "gen:LS34"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("components=1"), "{stdout}");
+}
+
+#[test]
+fn unknown_commands_fail_cleanly() {
+    let out = mlgp().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mlgp().args(["partition", "gen:NOPE", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mlgp().args(["partition", "gen:LS34", "0"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = mlgp().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: fill-reducing ordering quality (§4.3 claims at
+//! test scale).
+
+use mlgp::prelude::*;
+
+fn is_perm(p: &Permutation, n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for v in 0..n as u32 {
+        seen[p.apply(v) as usize] = true;
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[test]
+fn all_orderings_are_permutations_on_suite_samples() {
+    for key in ["LS34", "BSP10", "4ELT"] {
+        let g = mlgp::graph::generators::entry(key).unwrap().generate_scaled(0.08);
+        for (name, p) in [
+            ("mmd", mmd_order(&g)),
+            ("mlnd", mlnd_order(&g)),
+            ("snd", snd_order(&g)),
+        ] {
+            assert!(is_perm(&p, g.n()), "{key}/{name}");
+        }
+    }
+}
+
+#[test]
+fn mlnd_beats_mmd_on_3d_stiffness() {
+    // The paper's Figure 5 headline: on large 3D problems MLND needs far
+    // fewer operations than MMD. Directionally visible even at 13^3.
+    let g = mlgp::graph::generators::stiffness3d(13, 13, 13);
+    let nd = analyze_ordering(&g, &mlnd_order(&g));
+    let md = analyze_ordering(&g, &mmd_order(&g));
+    assert!(
+        nd.opcount < 1.25 * md.opcount,
+        "MLND {:.3e} vs MMD {:.3e}",
+        nd.opcount,
+        md.opcount
+    );
+    // And the concurrency claim: ND trees are much shallower.
+    assert!(
+        nd.height < md.height,
+        "MLND height {} vs MMD {}",
+        nd.height,
+        md.height
+    );
+}
+
+#[test]
+fn mmd_wins_on_stringy_network_graphs() {
+    // The paper: "the only exception is BCSPWR10 for which all nested
+    // dissection schemes perform poorly" — MMD is allowed to win there.
+    let g = mlgp::graph::generators::powergrid(3000, 5);
+    let nd = analyze_ordering(&g, &mlnd_order(&g));
+    let md = analyze_ordering(&g, &mmd_order(&g));
+    // Both must still be far better than a random ordering.
+    let mut rng = mlgp::graph::rng::seeded(3);
+    let rnd = analyze_ordering(&g, &Permutation::random(g.n(), &mut rng));
+    assert!(md.opcount < rnd.opcount);
+    assert!(nd.opcount < rnd.opcount);
+}
+
+#[test]
+fn orderings_dramatically_reduce_fill_vs_natural_on_lshape() {
+    let g = mlgp::graph::generators::lshape(60);
+    let nat = analyze_ordering(&g, &Permutation::identity(g.n()));
+    for (name, p) in [("mmd", mmd_order(&g)), ("mlnd", mlnd_order(&g))] {
+        let s = analyze_ordering(&g, &p);
+        assert!(
+            s.opcount < nat.opcount / 2.0,
+            "{name}: {:.3e} vs natural {:.3e}",
+            s.opcount,
+            nat.opcount
+        );
+    }
+}
+
+#[test]
+fn symbolic_stats_are_monotone_in_problem_size() {
+    let small = mlgp::graph::generators::stiffness3d(6, 6, 6);
+    let large = mlgp::graph::generators::stiffness3d(10, 10, 10);
+    let s = analyze_ordering(&small, &mlnd_order(&small));
+    let l = analyze_ordering(&large, &mlnd_order(&large));
+    assert!(l.nnz_l > s.nnz_l);
+    assert!(l.opcount > s.opcount);
+}

@@ -1,0 +1,129 @@
+//! The paper's headline claims, codified as fast regression tests at
+//! reduced scale (the full-scale measurements live in EXPERIMENTS.md).
+//! If a refactor breaks one of these, the reproduction itself has
+//! regressed — not just a unit.
+
+use mlgp::prelude::*;
+use mlgp_part::kway_partition;
+use mlgp_spectral::msb_kway;
+
+/// A fixed sub-suite that exercises the main graph classes quickly.
+fn mini_suite() -> Vec<(&'static str, mlgp::graph::CsrGraph)> {
+    ["BC30", "4ELT", "COPT"]
+        .iter()
+        .map(|k| {
+            (
+                *k,
+                mlgp::graph::generators::entry(k).unwrap().generate_scaled(0.10),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn claim_hem_coarse_partition_is_near_final() {
+    // Table 3: HEM's unrefined 32-way cut sits within a small factor of the
+    // refined one, while LEM's is far off.
+    for (key, g) in mini_suite() {
+        let refined = kway_partition(&g, 32, &MlConfig::default()).edge_cut;
+        let unrefined = |m: MatchingScheme| {
+            kway_partition(
+                &g,
+                32,
+                &MlConfig {
+                    matching: m,
+                    refinement: RefinementPolicy::None,
+                    ..MlConfig::default()
+                },
+            )
+            .edge_cut
+        };
+        let hem = unrefined(MatchingScheme::HeavyEdge);
+        let lem = unrefined(MatchingScheme::LightEdge);
+        assert!(
+            (hem as f64) < 3.0 * refined as f64,
+            "{key}: HEM unrefined {hem} vs refined {refined}"
+        );
+        assert!(
+            lem > hem,
+            "{key}: LEM unrefined {lem} should exceed HEM {hem}"
+        );
+    }
+}
+
+#[test]
+fn claim_refinement_policies_agree_on_cut_but_not_on_cost() {
+    // Table 4: all five policies land within a modest band of each other.
+    let g = mlgp::graph::generators::entry("BC30").unwrap().generate_scaled(0.10);
+    let cuts: Vec<i64> = RefinementPolicy::evaluated()
+        .into_iter()
+        .map(|r| {
+            kway_partition(
+                &g,
+                32,
+                &MlConfig {
+                    refinement: r,
+                    ..MlConfig::default()
+                },
+            )
+            .edge_cut
+        })
+        .collect();
+    let min = *cuts.iter().min().unwrap() as f64;
+    let max = *cuts.iter().max().unwrap() as f64;
+    assert!(max <= 1.25 * min, "cut spread too wide: {cuts:?}");
+}
+
+#[test]
+fn claim_multilevel_quality_holds_against_msb() {
+    // Figures 1/2: aggregate cut within ~15% of MSB (usually better).
+    let mut ours_total = 0i64;
+    let mut msb_total = 0i64;
+    for (_, g) in mini_suite() {
+        ours_total += kway_partition(&g, 16, &MlConfig::default()).edge_cut;
+        let m = msb_kway(&g, 16, &MsbConfig::default());
+        msb_total += edge_cut_kway(&g, &m);
+    }
+    assert!(
+        (ours_total as f64) < 1.15 * msb_total as f64,
+        "ours {ours_total} vs MSB {msb_total}"
+    );
+}
+
+#[test]
+fn claim_mlnd_beats_mmd_on_3d_and_flattens_the_etree() {
+    // Figure 5 + the §4.3 concurrency argument, on a 3D stiffness graph.
+    let g = mlgp::graph::generators::stiffness3d(14, 14, 14);
+    let nd = analyze_ordering(&g, &mlnd_order(&g));
+    let md = analyze_ordering(&g, &mmd_order(&g));
+    assert!(
+        nd.opcount < md.opcount,
+        "MLND {:.3e} vs MMD {:.3e}",
+        nd.opcount,
+        md.opcount
+    );
+    assert!(
+        (nd.height as f64) < 0.9 * md.height as f64,
+        "MLND height {} vs MMD {}",
+        nd.height,
+        md.height
+    );
+}
+
+#[test]
+fn claim_multilevel_is_much_faster_than_msb() {
+    // Figure 4 direction (generous factor: debug builds, small scale).
+    let g = mlgp::graph::generators::entry("BC31").unwrap().generate_scaled(0.15);
+    let t = std::time::Instant::now();
+    let _ = kway_partition(&g, 32, &MlConfig::default());
+    let ours = t.elapsed();
+    let t = std::time::Instant::now();
+    let _ = msb_kway(&g, 32, &MsbConfig::default());
+    let msb = t.elapsed();
+    assert!(
+        msb > 2 * ours,
+        "MSB {:?} should be well above ours {:?}",
+        msb,
+        ours
+    );
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of cross-crate invariants.
+
+use mlgp::prelude::*;
+use mlgp_graph::rng::seeded;
+use mlgp_order::{analyze_ordering as analyze, separator_is_valid, vertex_separator, SEPARATOR};
+use mlgp_part::{
+    bisect, compute_matching, contract, edge_cut_bisection, BalanceTargets, MatchingScheme,
+};
+use proptest::prelude::*;
+use rand::RngExt;
+
+/// Random connected graph from a seed: a random tree plus extra edges.
+fn random_connected(n: usize, extra: usize, seed: u64) -> CsrGraph {
+    let mut rng = seeded(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.random_range(0..v);
+        b.add_weighted_edge(v as Vid, p as Vid, 1 + rng.random_range(0..4));
+    }
+    for _ in 0..extra {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            b.add_weighted_edge(u as Vid, v as Vid, 1 + rng.random_range(0..4));
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matching_contraction_conserves_weight(
+        n in 8usize..120,
+        extra in 0usize..200,
+        seed in 0u64..1000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let cewgt = vec![0; g.n()];
+        for scheme in MatchingScheme::all() {
+            let m = compute_matching(&g, scheme, &cewgt, &mut seeded(seed ^ 1));
+            prop_assert!(m.validate(&g).is_ok());
+            prop_assert!(m.is_maximal(&g));
+            let (cmap, nc) = m.to_cmap();
+            let c = contract(&g, &cmap, nc, &cewgt);
+            prop_assert_eq!(c.graph.total_vwgt(), g.total_vwgt());
+            prop_assert!(c.graph.validate().is_ok());
+            prop_assert!(c.graph.total_adjwgt() <= g.total_adjwgt());
+        }
+    }
+
+    #[test]
+    fn bisection_is_balanced_and_cut_is_correct(
+        n in 16usize..300,
+        extra in 0usize..400,
+        seed in 0u64..1000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let cfg = MlConfig { seed, ..MlConfig::default() };
+        let r = bisect(&g, &cfg);
+        prop_assert_eq!(r.cut, edge_cut_bisection(&g, &r.part));
+        let bt = BalanceTargets::even(g.total_vwgt(), cfg.imbalance);
+        prop_assert!(bt.balanced(r.pwgts), "pwgts {:?}", r.pwgts);
+    }
+
+    #[test]
+    fn kway_covers_all_parts(
+        n in 64usize..300,
+        extra in 50usize..400,
+        k in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let r = kway_partition(&g, k, &MlConfig { seed, ..MlConfig::default() });
+        prop_assert_eq!(r.part.len(), g.n());
+        let mut present = vec![false; k];
+        for &p in &r.part {
+            prop_assert!((p as usize) < k);
+            present[p as usize] = true;
+        }
+        prop_assert!(present.iter().all(|&x| x), "empty part");
+        prop_assert_eq!(r.edge_cut, edge_cut_kway(&g, &r.part));
+    }
+
+    #[test]
+    fn vertex_separator_always_separates(
+        n in 16usize..200,
+        extra in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        let r = bisect(&g, &MlConfig { seed, ..MlConfig::default() });
+        let labels = vertex_separator(&g, &r.part);
+        prop_assert!(separator_is_valid(&g, &labels));
+        // Separator no bigger than the smaller boundary side.
+        let cut_edges = r.cut;
+        let sep = labels.iter().filter(|&&l| l == SEPARATOR).count();
+        prop_assert!(sep as i64 <= cut_edges, "sep {} > cut {}", sep, cut_edges);
+    }
+
+    #[test]
+    fn orderings_are_permutations_with_fill_lower_bound(
+        n in 16usize..150,
+        extra in 0usize..200,
+        seed in 0u64..1000,
+    ) {
+        let g = random_connected(n, extra, seed);
+        for p in [mmd_order(&g), mlnd_order(&g)] {
+            let mut seen = vec![false; g.n()];
+            for v in 0..g.n() as u32 {
+                seen[p.apply(v) as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            let s = analyze(&g, &p);
+            // L contains at least the original lower triangle.
+            prop_assert!(s.nnz_l >= (g.n() + g.m()) as u64);
+            // And at most the dense triangle.
+            let nn = g.n() as u64;
+            prop_assert!(s.nnz_l <= nn * (nn + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn refinement_never_worsens_projected_cut(
+        n in 32usize..200,
+        extra in 20usize..300,
+        seed in 0u64..1000,
+    ) {
+        // End-to-end monotonicity: with refinement the final cut is no
+        // worse than the same pipeline without refinement.
+        let g = random_connected(n, extra, seed);
+        let with = bisect(&g, &MlConfig { seed, ..MlConfig::default() });
+        let without = bisect(&g, &MlConfig {
+            seed,
+            refinement: RefinementPolicy::None,
+            ..MlConfig::default()
+        });
+        prop_assert!(with.cut <= without.cut, "{} > {}", with.cut, without.cut);
+    }
+}
