@@ -14,7 +14,12 @@ fn bench_kwayrefine(c: &mut Criterion) {
     group.bench_function("greedy_sweep", |b| {
         b.iter(|| {
             let mut part = base.part.clone();
-            black_box(kway_refine_greedy(&g, &mut part, 32, &KwayRefineOptions::default()))
+            black_box(kway_refine_greedy(
+                &g,
+                &mut part,
+                32,
+                &KwayRefineOptions::default(),
+            ))
         })
     });
     group.bench_function("full_pipeline", |b| {

@@ -14,9 +14,7 @@ fn bench_vcover(c: &mut Criterion) {
         ("stiff_8k", stiffness3d(20, 20, 20)),
     ] {
         let part = bisect(&g, &MlConfig::default()).part;
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(vertex_separator(&g, &part)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(vertex_separator(&g, &part))));
     }
     group.finish();
 }

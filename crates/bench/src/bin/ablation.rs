@@ -47,7 +47,12 @@ fn main() {
             )
         })
         .collect();
-    run(&opts, &keys, "KL early-exit parameter x (paper: 50)", &configs);
+    run(
+        &opts,
+        &keys,
+        "KL early-exit parameter x (paper: 50)",
+        &configs,
+    );
 
     // (b) coarsening threshold.
     let configs: Vec<(String, MlConfig)> = [25, 100, 400, 1600]
@@ -62,7 +67,12 @@ fn main() {
             )
         })
         .collect();
-    run(&opts, &keys, "coarsening threshold |Vm| (paper: 100)", &configs);
+    run(
+        &opts,
+        &keys,
+        "coarsening threshold |Vm| (paper: 100)",
+        &configs,
+    );
 
     // (c) BKLGR switch fraction.
     let configs: Vec<(String, MlConfig)> = [0.0, 0.02, 0.10, 1.0]

@@ -11,6 +11,13 @@ use mlgp_spectral::{msb_kway, MsbConfig};
 fn main() {
     let opts = BenchOpts::from_args();
     run_quality_figure(&opts, "MSB", &|g, k, seed| {
-        msb_kway(g, k, &MsbConfig { seed, ..MsbConfig::default() })
+        msb_kway(
+            g,
+            k,
+            &MsbConfig {
+                seed,
+                ..MsbConfig::default()
+            },
+        )
     });
 }

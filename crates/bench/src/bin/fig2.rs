@@ -11,6 +11,13 @@ use mlgp_spectral::{msb_kl_kway, MsbConfig};
 fn main() {
     let opts = BenchOpts::from_args();
     run_quality_figure(&opts, "MSB-KL", &|g, k, seed| {
-        msb_kl_kway(g, k, &MsbConfig { seed, ..MsbConfig::default() })
+        msb_kl_kway(
+            g,
+            k,
+            &MsbConfig {
+                seed,
+                ..MsbConfig::default()
+            },
+        )
     });
 }

@@ -11,6 +11,13 @@ use mlgp_spectral::{chaco_ml_kway, ChacoMlConfig};
 fn main() {
     let opts = BenchOpts::from_args();
     run_quality_figure(&opts, "Chaco-ML", &|g, k, seed| {
-        chaco_ml_kway(g, k, &ChacoMlConfig { seed, ..ChacoMlConfig::default() })
+        chaco_ml_kway(
+            g,
+            k,
+            &ChacoMlConfig {
+                seed,
+                ..ChacoMlConfig::default()
+            },
+        )
     });
 }

@@ -12,7 +12,11 @@ use mlgp_spectral::{chaco_ml_kway, msb_kl_kway, msb_kway, ChacoMlConfig, MsbConf
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let k = opts.parts.as_ref().and_then(|p| p.first().copied()).unwrap_or(256);
+    let k = opts
+        .parts
+        .as_ref()
+        .and_then(|p| p.first().copied())
+        .unwrap_or(256);
     opts.banner(&format!(
         "Figure 4: time to find a {k}-way partition relative to our multilevel algorithm"
     ));

@@ -13,7 +13,9 @@ use mlgp_order::{analyze_ordering, mlnd_order, mmd_order, snd_order};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    opts.banner("Figure 5: MLND ordering quality vs MMD and SND (opcount ratios; >1 = MLND better)");
+    opts.banner(
+        "Figure 5: MLND ordering quality vs MMD and SND (opcount ratios; >1 = MLND better)",
+    );
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>9} {:>9}   0 ..... 1 ..... 2  (MMD/MLND)",
         "key", "MLND ops", "MMD ops", "SND ops", "MMD/MLND", "SND/MLND"
@@ -34,7 +36,12 @@ fn main() {
         tot[2] += snd.opcount;
         println!(
             "{:<6} {:>12.3e} {:>12.3e} {:>12.3e} {:>9.2} {:>9.2}   [{}]",
-            key, mlnd.opcount, mmd.opcount, snd.opcount, r_mmd, r_snd,
+            key,
+            mlnd.opcount,
+            mmd.opcount,
+            snd.opcount,
+            r_mmd,
+            r_snd,
             ratio_bar(r_mmd, 30)
         );
     }

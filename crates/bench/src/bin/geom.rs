@@ -39,14 +39,22 @@ fn embedded_workloads(scale: f64) -> Vec<(&'static str, CsrGraph, Vec<Point>)> {
             gen::tet_mesh3d(wx, wy, wz, 0x3a5e),
             gen::tet_mesh3d_coords(wx, wy, wz, 0x3a5e),
         ),
-        ("SHYY", gen::grid2d_9pt(gx, gy, false), gen::grid2d_coords(gx, gy)),
+        (
+            "SHYY",
+            gen::grid2d_9pt(gx, gy, false),
+            gen::grid2d_coords(gx, gy),
+        ),
         ("LS34", gen::lshape(ls), gen::lshape_coords(ls)),
     ]
 }
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let k = opts.parts.as_ref().and_then(|p| p.first().copied()).unwrap_or(32);
+    let k = opts
+        .parts
+        .as_ref()
+        .and_then(|p| p.first().copied())
+        .unwrap_or(32);
     opts.banner(&format!(
         "Geometric vs multilevel partitioning ({k}-way, embedded mesh workloads)"
     ));

@@ -17,7 +17,11 @@ use mlgp_part::{kway_partition, MlConfig};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let k = opts.parts.as_ref().and_then(|p| p.first().copied()).unwrap_or(64);
+    let k = opts
+        .parts
+        .as_ref()
+        .and_then(|p| p.first().copied())
+        .unwrap_or(64);
     let threads = [1usize, 2, 4, 8];
     opts.banner(&format!(
         "Parallel scaling of {k}-way partitioning and MLND over rayon threads"
@@ -57,7 +61,9 @@ fn main() {
             println!("{key:<6} {task:>9} | {}", row.join(" "));
         }
     }
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("\ndetected hardware parallelism: {cores} core(s).");
     if cores == 1 {
         println!("on a single core this experiment demonstrates overhead-neutrality of");

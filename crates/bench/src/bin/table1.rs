@@ -4,7 +4,7 @@
 //! cargo run --release -p mlgp-bench --bin table1 [--scale F]
 //! ```
 
-use mlgp_bench::{group_thousands, BenchOpts};
+use mlgp_bench::{finish_or_exit, group_thousands, BenchOpts};
 use mlgp_graph::generators::suite;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
         "{:<6} {:<12} {:>9} {:>11} {:>9} {:>11}  description",
         "key", "paper name", "order", "nonzeros", "our n", "our nnz"
     );
+    let mut sink = opts.json_sink();
     for e in suite() {
         if let Some(keys) = &opts.keys {
             if !keys.iter().any(|k| k == e.key) {
@@ -31,5 +32,16 @@ fn main() {
             group_thousands(g.nnz() as i64),
             e.description
         );
+        sink.row(|o| {
+            o.field_str("bench", "table1");
+            o.field_str("key", e.key);
+            o.field_str("paper_name", e.paper_name);
+            o.field_usize("paper_order", e.paper_order);
+            o.field_usize("paper_nonzeros", e.paper_nonzeros);
+            o.field_usize("n", g.n());
+            o.field_usize("nnz", g.nnz());
+            o.field_f64("scale", opts.scale);
+        });
     }
+    finish_or_exit(sink);
 }

@@ -6,12 +6,13 @@
 //! cargo run --release -p mlgp-bench --bin table2 [--scale F] [--keys A,B]
 //! ```
 
-use mlgp_bench::{group_thousands, timed, BenchOpts};
+use mlgp_bench::{finish_or_exit, group_thousands, timed, BenchOpts};
 use mlgp_graph::generators::table_rows;
 use mlgp_part::{kway_partition, MatchingScheme, MlConfig};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let mut sink = opts.json_sink();
     opts.banner("Table 2: performance of matching schemes (32-way, GGGP + BKLGR)");
     print!("{:<6}", "");
     for m in MatchingScheme::all() {
@@ -31,15 +32,28 @@ fn main() {
                 matching: m,
                 ..MlConfig::default()
             };
-            let (r, _) = timed(|| kway_partition(&g, 32, &cfg));
+            let (r, secs) = timed(|| kway_partition(&g, 32, &cfg));
             print!(
                 "{:>12} {:>7.2} {:>7.2}",
                 group_thousands(r.edge_cut),
                 r.times.coarsen.as_secs_f64(),
                 r.times.uncoarsen().as_secs_f64()
             );
+            sink.row(|o| {
+                o.field_str("bench", "table2");
+                o.field_str("key", key);
+                o.field_str("matching", m.abbrev());
+                o.field_usize("k", 32);
+                o.field_i64("edge_cut", r.edge_cut);
+                o.field_f64("secs", secs);
+                o.field_f64("ctime_secs", r.times.coarsen.as_secs_f64());
+                o.field_f64("itime_secs", r.times.init.as_secs_f64());
+                o.field_f64("rtime_secs", r.times.refine.as_secs_f64());
+                o.field_f64("ptime_secs", r.times.project.as_secs_f64());
+            });
         }
         println!();
     }
     println!("\nUTime = ITime + RTime + PTime, summed over all bisections of the recursion.");
+    finish_or_exit(sink);
 }

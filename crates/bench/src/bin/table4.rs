@@ -6,12 +6,13 @@
 //! cargo run --release -p mlgp-bench --bin table4 [--scale F] [--keys A,B]
 //! ```
 
-use mlgp_bench::{group_thousands, BenchOpts};
+use mlgp_bench::{finish_or_exit, group_thousands, timed, BenchOpts};
 use mlgp_graph::generators::table_rows;
 use mlgp_part::{kway_partition, MlConfig, RefinementPolicy};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let mut sink = opts.json_sink();
     opts.banner("Table 4: performance of refinement policies (32-way, HEM + GGGP)");
     print!("{:<6}", "");
     for r in RefinementPolicy::evaluated() {
@@ -26,14 +27,24 @@ fn main() {
                 refinement: policy,
                 ..MlConfig::default()
             };
-            let r = kway_partition(&g, 32, &cfg);
+            let (r, secs) = timed(|| kway_partition(&g, 32, &cfg));
             print!(
                 "{:>12} {:>7.2}",
                 group_thousands(r.edge_cut),
                 r.times.refine.as_secs_f64()
             );
+            sink.row(|o| {
+                o.field_str("bench", "table4");
+                o.field_str("key", key);
+                o.field_str("refinement", policy.abbrev());
+                o.field_usize("k", 32);
+                o.field_i64("edge_cut", r.edge_cut);
+                o.field_f64("secs", secs);
+                o.field_f64("rtime_secs", r.times.refine.as_secs_f64());
+            });
         }
         println!();
     }
     println!("\nRTime is the refinement phase only, summed over all bisections.");
+    finish_or_exit(sink);
 }

@@ -7,10 +7,13 @@
 //! Every binary accepts `--scale F` (default 1.0) which shrinks each
 //! workload to `F ×` its paper size — the figures involving the spectral
 //! baselines are expensive at full scale, exactly as the paper reports
-//! (MSB is the 10-35× slower method). `--keys A,B,C` restricts the rows.
+//! (MSB is the 10-35× slower method). `--keys A,B,C` restricts the rows,
+//! and `--json [FILE]` additionally emits the rows as JSONL (to stdout when
+//! no file is given) for tracking results across commits.
 
 use mlgp_graph::generators::{entry, SuiteEntry};
 use mlgp_graph::CsrGraph;
+use mlgp_trace::json::JsonObj;
 use std::time::Instant;
 
 /// Command-line options shared by all experiment binaries.
@@ -22,29 +25,54 @@ pub struct BenchOpts {
     pub keys: Option<Vec<String>>,
     /// Override part counts (figures).
     pub parts: Option<Vec<usize>>,
+    /// JSONL destination: `Some("-")` is stdout, `None` disables the sink.
+    pub json: Option<String>,
 }
 
 impl BenchOpts {
-    /// Parse from `std::env::args`.
+    /// Parse from `std::env::args`; on a malformed command line print the
+    /// error to stderr and exit with status 2 (no panic backtrace).
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut scale = 1.0;
-        let mut keys = None;
-        let mut parts = None;
+        Self::try_from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Fallible parser behind [`BenchOpts::from_args`].
+    pub fn try_from_args(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut opts = Self {
+            scale: 1.0,
+            keys: None,
+            parts: None,
+            json: None,
+        };
         let mut i = 0;
+        // `--json` may appear last with no operand (meaning stdout); the
+        // value-carrying options must not swallow a following `--flag`.
+        let value = |args: &[String], i: usize, name: &str| -> Result<String, String> {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Ok(v.clone()),
+                _ => Err(format!("{name} needs a value")),
+            }
+        };
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
-                    scale = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--scale needs a number");
+                    let v = value(&args, i, "--scale")?;
+                    opts.scale = v
+                        .parse()
+                        .map_err(|_| format!("--scale needs a number, got `{v}`"))?;
+                    // Also rejects NaN, which compares false with everything.
+                    if opts.scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                        return Err(format!("--scale must be positive, got `{v}`"));
+                    }
                     i += 2;
                 }
                 "--keys" => {
-                    keys = Some(
-                        args.get(i + 1)
-                            .expect("--keys needs a list")
+                    opts.keys = Some(
+                        value(&args, i, "--keys")?
                             .split(',')
                             .map(|s| s.trim().to_uppercase())
                             .collect(),
@@ -52,21 +80,44 @@ impl BenchOpts {
                     i += 2;
                 }
                 "--parts" => {
-                    parts = Some(
-                        args.get(i + 1)
-                            .expect("--parts needs a list")
-                            .split(',')
-                            .map(|s| s.trim().parse().expect("bad part count"))
-                            .collect(),
+                    let v = value(&args, i, "--parts")?;
+                    opts.parts = Some(
+                        v.split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse()
+                                    .map_err(|_| format!("--parts: bad part count `{s}`"))
+                            })
+                            .collect::<Result<_, _>>()?,
                     );
                     i += 2;
                 }
+                "--json" => match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        opts.json = Some(v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        opts.json = Some("-".into());
+                        i += 1;
+                    }
+                },
                 other => {
-                    panic!("unknown option {other} (use --scale F, --keys A,B, --parts 64,128)")
+                    return Err(format!(
+                        "unknown option `{other}` (use --scale F, --keys A,B, --parts 64,128, --json [FILE])"
+                    ));
                 }
             }
         }
-        Self { scale, keys, parts }
+        Ok(opts)
+    }
+
+    /// The JSONL sink selected by `--json` (disabled when absent).
+    pub fn json_sink(&self) -> JsonSink {
+        JsonSink {
+            dest: self.json.clone(),
+            rows: Vec::new(),
+        }
     }
 
     /// Filter a row list by `--keys`.
@@ -95,6 +146,61 @@ impl BenchOpts {
             self.scale
         );
         println!();
+    }
+}
+
+/// Accumulates machine-readable result rows and writes them as JSONL when
+/// the run finishes. Disabled (every call a no-op) unless `--json` was given,
+/// so the human-readable tables stay the default output.
+#[derive(Debug)]
+pub struct JsonSink {
+    dest: Option<String>,
+    rows: Vec<String>,
+}
+
+impl JsonSink {
+    /// Whether `--json` was requested.
+    pub fn is_enabled(&self) -> bool {
+        self.dest.is_some()
+    }
+
+    /// Append one row; `build` fills the object and is only invoked when the
+    /// sink is enabled.
+    pub fn row(&mut self, build: impl FnOnce(&mut JsonObj)) {
+        if self.dest.is_none() {
+            return;
+        }
+        let mut obj = JsonObj::new();
+        build(&mut obj);
+        self.rows.push(obj.finish());
+    }
+
+    /// Write the collected rows (one JSON object per line) to the `--json`
+    /// destination — stdout for `-`, a file otherwise.
+    pub fn finish(self) -> Result<(), String> {
+        let Some(dest) = self.dest else {
+            return Ok(());
+        };
+        let mut body = self.rows.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        if dest == "-" {
+            print!("{body}");
+            Ok(())
+        } else {
+            std::fs::write(&dest, body).map_err(|e| format!("writing {dest}: {e}"))?;
+            eprintln!("json rows written to {dest}");
+            Ok(())
+        }
+    }
+}
+
+/// [`JsonSink::finish`] for binary `main`s: report the error and exit 2.
+pub fn finish_or_exit(sink: JsonSink) {
+    if let Err(e) = sink.finish() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
 }
 
@@ -150,17 +256,26 @@ pub fn run_quality_figure(
         "edge-cut of our multilevel algorithm relative to {baseline_name} (bars under the | baseline mean we win)"
     ));
     let parts = opts.parts.clone().unwrap_or_else(|| vec![64, 128, 256]);
-    println!("{:<6} {:>6} {:>10} {:>10} {:>7}  0 ..... 1 ..... 2", "key", "k", "ours", baseline_name, "ratio");
+    println!(
+        "{:<6} {:>6} {:>10} {:>10} {:>7}  0 ..... 1 ..... 2",
+        "key", "k", "ours", baseline_name, "ratio"
+    );
     let rows = opts.select(&mlgp_graph::generators::figure_rows());
     let mut product = 1.0f64;
     let mut count = 0usize;
+    let mut sink = opts.json_sink();
     for key in rows {
         let (_, g) = opts.graph(key);
         for &k in &parts {
-            let ours = kway_partition(&g, k, &MlConfig::default()).edge_cut;
-            let base_part = baseline(&g, k, 0xf15);
+            let (r, ours_secs) = timed(|| kway_partition(&g, k, &MlConfig::default()));
+            let ours = r.edge_cut;
+            let (base_part, base_secs) = timed(|| baseline(&g, k, 0xf15));
             let base = edge_cut_kway(&g, &base_part);
-            let ratio = if base > 0 { ours as f64 / base as f64 } else { f64::NAN };
+            let ratio = if base > 0 {
+                ours as f64 / base as f64
+            } else {
+                f64::NAN
+            };
             if ratio.is_finite() {
                 product *= ratio;
                 count += 1;
@@ -174,6 +289,19 @@ pub fn run_quality_figure(
                 ratio,
                 ratio_bar(ratio, 34)
             );
+            sink.row(|o| {
+                o.field_str("bench", "quality_figure");
+                o.field_str("baseline", baseline_name);
+                o.field_str("key", key);
+                o.field_usize("k", k);
+                o.field_i64("edge_cut", ours);
+                o.field_i64("baseline_edge_cut", base);
+                o.field_f64("ratio", ratio);
+                o.field_f64("secs", ours_secs);
+                o.field_f64("baseline_secs", base_secs);
+                o.field_f64("ctime_secs", r.times.coarsen.as_secs_f64());
+                o.field_f64("utime_secs", r.times.uncoarsen().as_secs_f64());
+            });
         }
     }
     if count > 0 {
@@ -182,6 +310,7 @@ pub fn run_quality_figure(
             product.powf(1.0 / count as f64)
         );
     }
+    finish_or_exit(sink);
 }
 
 #[cfg(test)]
@@ -217,12 +346,14 @@ mod tests {
             scale: 1.0,
             keys: Some(vec!["4ELT".into()]),
             parts: None,
+            json: None,
         };
         assert_eq!(opts.select(&["BC31", "4ELT"]), vec!["4ELT"]);
         let all = BenchOpts {
             scale: 1.0,
             keys: None,
             parts: None,
+            json: None,
         };
         assert_eq!(all.select(&["A", "B"]), vec!["A", "B"]);
     }
@@ -233,9 +364,83 @@ mod tests {
             scale: 0.02,
             keys: None,
             parts: None,
+            json: None,
         };
         let (e, g) = opts.graph("LS34");
         assert_eq!(e.key, "LS34");
         assert!(g.n() < e.paper_order);
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchOpts, String> {
+        BenchOpts::try_from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn arg_parsing_accepts_valid_forms() {
+        let o = parse(&["--scale", "0.5", "--keys", "a,4elt", "--parts", "2,4"]).unwrap();
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(
+            o.keys.as_deref(),
+            Some(&["A".to_string(), "4ELT".to_string()][..])
+        );
+        assert_eq!(o.parts.as_deref(), Some(&[2usize, 4][..]));
+        assert_eq!(o.json, None);
+        // Bare --json means stdout; --json FILE names the file.
+        assert_eq!(parse(&["--json"]).unwrap().json.as_deref(), Some("-"));
+        assert_eq!(
+            parse(&["--json", "/tmp/rows.jsonl"])
+                .unwrap()
+                .json
+                .as_deref(),
+            Some("/tmp/rows.jsonl")
+        );
+        // --json before another flag still means stdout.
+        let o = parse(&["--json", "--scale", "2"]).unwrap();
+        assert_eq!(o.json.as_deref(), Some("-"));
+        assert_eq!(o.scale, 2.0);
+    }
+
+    #[test]
+    fn arg_parsing_rejects_malformed_input_with_messages() {
+        for (args, needle) in [
+            (&["--scale", "abc"][..], "--scale"),
+            (&["--scale"][..], "needs a value"),
+            (&["--scale", "-1"][..], "positive"),
+            (&["--parts", "2,x"][..], "bad part count"),
+            (&["--keys"][..], "needs a value"),
+            (&["--frobnicate"][..], "unknown option"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains(needle), "args {args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn json_sink_collects_and_renders_rows() {
+        let enabled = BenchOpts {
+            scale: 1.0,
+            keys: None,
+            parts: None,
+            json: Some("-".into()),
+        };
+        let mut sink = enabled.json_sink();
+        assert!(sink.is_enabled());
+        sink.row(|o| {
+            o.field_str("key", "4ELT");
+            o.field_usize("k", 8);
+        });
+        assert_eq!(sink.rows, vec![r#"{"key":"4ELT","k":8}"#.to_string()]);
+
+        let disabled = BenchOpts {
+            scale: 1.0,
+            keys: None,
+            parts: None,
+            json: None,
+        };
+        let mut sink = disabled.json_sink();
+        assert!(!sink.is_enabled());
+        sink.row(|_| panic!("builder must not run when the sink is disabled"));
+        assert!(sink.rows.is_empty());
+        sink.finish().unwrap();
     }
 }

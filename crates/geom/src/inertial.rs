@@ -31,7 +31,11 @@ fn rec(points: &[Point], vwgt: &[Wgt], ids: &mut [Vid], k: usize, base: u32, lab
         let p = points[v as usize];
         p[0] * axis[0] + p[1] * axis[1] + p[2] * axis[2]
     };
-    ids.sort_by(|&a, &b| project(a).partial_cmp(&project(b)).unwrap_or(std::cmp::Ordering::Equal));
+    ids.sort_by(|&a, &b| {
+        project(a)
+            .partial_cmp(&project(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let total: Wgt = ids.iter().map(|&v| vwgt[v as usize]).sum();
     let target0 = (total as i128 * k0 as i128 / k as i128) as Wgt;
     let mut acc = 0;

@@ -27,7 +27,10 @@ pub struct SphereConfig {
 
 impl Default for SphereConfig {
     fn default() -> Self {
-        Self { trials: 30, seed: 0x5e7a }
+        Self {
+            trials: 30,
+            seed: 0x5e7a,
+        }
     }
 }
 
@@ -78,7 +81,14 @@ pub fn sphere_kway(g: &CsrGraph, points: &[Point], k: usize, cfg: &SphereConfig)
     labels
 }
 
-fn rec(g: &CsrGraph, points: &[Point], k: usize, cfg: &SphereConfig, salt: u64, labels: &mut [u32]) {
+fn rec(
+    g: &CsrGraph,
+    points: &[Point],
+    k: usize,
+    cfg: &SphereConfig,
+    salt: u64,
+    labels: &mut [u32],
+) {
     if k <= 1 || g.n() == 0 {
         return;
     }
@@ -98,7 +108,14 @@ fn rec(g: &CsrGraph, points: &[Point], k: usize, cfg: &SphereConfig, salt: u64, 
         let sub_pts: Vec<Point> = sub.orig.iter().map(|&v| points[v as usize]).collect();
         let sub_k = if side == 0 { k0 } else { k - k0 };
         let mut sub_labels = vec![0u32; sub.graph.n()];
-        rec(&sub.graph, &sub_pts, sub_k, cfg, salt * 2 + side as u64, &mut sub_labels);
+        rec(
+            &sub.graph,
+            &sub_pts,
+            sub_k,
+            cfg,
+            salt * 2 + side as u64,
+            &mut sub_labels,
+        );
         let offset = if side == 0 { 0 } else { k0 as u32 };
         for (i, &orig) in sub.orig.iter().enumerate() {
             labels[orig as usize] = offset + sub_labels[i];
@@ -167,7 +184,14 @@ mod tests {
         let g = tri_mesh2d(20, 20, 4);
         let pts = tri_mesh2d_coords(20, 20, 4);
         let few = sphere_bisect(&g, &pts, &SphereConfig { trials: 2, seed: 9 });
-        let many = sphere_bisect(&g, &pts, &SphereConfig { trials: 40, seed: 9 });
+        let many = sphere_bisect(
+            &g,
+            &pts,
+            &SphereConfig {
+                trials: 40,
+                seed: 9,
+            },
+        );
         // Trials share the seed stream, so the 40-trial run sees the
         // 2-trial candidates plus 38 more.
         assert!(edge_cut_bisection(&g, &many) <= edge_cut_bisection(&g, &few));
@@ -178,7 +202,11 @@ mod tests {
         let g = grid2d(20, 20);
         let pts = grid2d_coords(20, 20);
         let part = sphere_kway(&g, &pts, 8, &SphereConfig::default());
-        assert!(imbalance(&g, &part, 8) < 1.15, "{}", imbalance(&g, &part, 8));
+        assert!(
+            imbalance(&g, &part, 8) < 1.15,
+            "{}",
+            imbalance(&g, &part, 8)
+        );
         assert_eq!(part.iter().map(|&p| p as usize).max().unwrap(), 7);
         assert!(edge_cut_kway(&g, &part) > 0);
     }

@@ -45,7 +45,10 @@ impl GraphBuilder {
     /// Panics if `vwgt.len() != n` or any weight is non-positive.
     pub fn set_vertex_weights(&mut self, vwgt: Vec<Wgt>) -> &mut Self {
         assert_eq!(vwgt.len(), self.n, "vertex weight length mismatch");
-        assert!(vwgt.iter().all(|&w| w > 0), "vertex weights must be positive");
+        assert!(
+            vwgt.iter().all(|&w| w > 0),
+            "vertex weights must be positive"
+        );
         self.vwgt = Some(vwgt);
         self
     }

@@ -205,7 +205,10 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as Vid).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as Vid)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Decompose into raw CSR parts `(xadj, adjncy, vwgt, adjwgt)`.

@@ -66,7 +66,11 @@ mod tests {
         assert!(is_connected(&g));
         assert!(g.validate().is_ok());
         // Sparse overall, like FINAN512 (nnz/n ~ 4.5).
-        assert!(g.avg_degree() > 3.0 && g.avg_degree() < 8.0, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 3.0 && g.avg_degree() < 8.0,
+            "{}",
+            g.avg_degree()
+        );
     }
 
     #[test]

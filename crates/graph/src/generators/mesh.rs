@@ -116,7 +116,11 @@ mod tests {
         assert!(is_connected(&g));
         assert!(g.validate().is_ok());
         // avg degree of a triangulation tends to 6 from below
-        assert!(g.avg_degree() > 4.5 && g.avg_degree() < 6.0, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 4.5 && g.avg_degree() < 6.0,
+            "{}",
+            g.avg_degree()
+        );
     }
 
     #[test]
@@ -131,7 +135,11 @@ mod tests {
         assert_eq!(g.n(), 512);
         assert!(is_connected(&g));
         assert!(g.validate().is_ok());
-        assert!(g.avg_degree() > 8.0 && g.avg_degree() < 14.0, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 8.0 && g.avg_degree() < 14.0,
+            "{}",
+            g.avg_degree()
+        );
     }
 
     #[test]

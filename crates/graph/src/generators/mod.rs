@@ -13,7 +13,10 @@ pub mod mesh;
 pub mod network;
 pub mod suite;
 
-pub use coords::{grid2d_coords, grid3d_coords, lshape_coords, roadnet_coords, tet_mesh3d_coords, tri_mesh2d_coords, Point};
+pub use coords::{
+    grid2d_coords, grid3d_coords, lshape_coords, roadnet_coords, tet_mesh3d_coords,
+    tri_mesh2d_coords, Point,
+};
 pub use grid::{grid2d, grid2d_9pt, grid3d, lshape, stiffness3d, stiffness3d_wrapped};
 pub use lp::hierarchical_lp;
 pub use mesh::{tet_mesh3d, tri_mesh2d};

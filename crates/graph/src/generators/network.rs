@@ -121,7 +121,11 @@ mod tests {
         let g = roadnet(40, 40, 5);
         assert_eq!(g.n(), 1600);
         assert!(is_connected(&g));
-        assert!(g.avg_degree() > 2.0 && g.avg_degree() < 4.5, "{}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 2.0 && g.avg_degree() < 4.5,
+            "{}",
+            g.avg_degree()
+        );
     }
 
     #[test]
@@ -129,7 +133,12 @@ mod tests {
         let g = powerlaw(2000, 3, 9);
         assert!(is_connected(&g));
         // Preferential attachment must create hubs far above the mean.
-        assert!(g.max_degree() > 8 * g.avg_degree() as usize, "max {} avg {}", g.max_degree(), g.avg_degree());
+        assert!(
+            g.max_degree() > 8 * g.avg_degree() as usize,
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
     }
 
     #[test]

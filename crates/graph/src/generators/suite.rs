@@ -84,7 +84,9 @@ impl SuiteEntry {
             Kind::Tri2d(x, y) => mesh::tri_mesh2d(d2(x), d2(y), self.seed),
             Kind::Tet3d(x, y, z) => mesh::tet_mesh3d(d3(x), d3(y), d3(z), self.seed),
             Kind::PowerLaw(n, m) => network::powerlaw(d1(n), m, self.seed),
-            Kind::Lp(blocks, size) => lp::hierarchical_lp(d1(blocks).max(2), size.max(4), self.seed),
+            Kind::Lp(blocks, size) => {
+                lp::hierarchical_lp(d1(blocks).max(2), size.max(4), self.seed)
+            }
             Kind::Grid9(x, y) => grid::grid2d_9pt(d2(x), d2(y), false),
             Kind::Road(x, y) => network::roadnet(d2(x), d2(y), self.seed),
         }
@@ -94,30 +96,222 @@ impl SuiteEntry {
 /// The full 24-entry suite mirroring Table 1, sorted by key.
 pub fn suite() -> &'static [SuiteEntry] {
     const S: &[SuiteEntry] = &[
-        SuiteEntry { key: "4ELT", paper_name: "4ELT", description: "2D finite element mesh", paper_order: 15606, paper_nonzeros: 45878, kind: Kind::Tri2d(125, 125), seed: 0x4e17 },
-        SuiteEntry { key: "BC28", paper_name: "BCSSTK28", description: "solid element model", paper_order: 4410, paper_nonzeros: 107307, kind: Kind::Stiffness(17, 16, 16), seed: 28 },
-        SuiteEntry { key: "BC29", paper_name: "BCSSTK29", description: "3D stiffness matrix", paper_order: 13992, paper_nonzeros: 302748, kind: Kind::Stiffness(24, 24, 24), seed: 29 },
-        SuiteEntry { key: "BC30", paper_name: "BCSSTK30", description: "3D stiffness matrix", paper_order: 28294, paper_nonzeros: 1007284, kind: Kind::Stiffness(31, 31, 30), seed: 30 },
-        SuiteEntry { key: "BC31", paper_name: "BCSSTK31", description: "3D stiffness matrix", paper_order: 35588, paper_nonzeros: 572914, kind: Kind::Stiffness(33, 33, 33), seed: 31 },
-        SuiteEntry { key: "BC32", paper_name: "BCSSTK32", description: "3D stiffness matrix", paper_order: 44609, paper_nonzeros: 985046, kind: Kind::Stiffness(36, 35, 35), seed: 32 },
-        SuiteEntry { key: "BC33", paper_name: "BCSSTK33", description: "3D stiffness matrix", paper_order: 8738, paper_nonzeros: 291583, kind: Kind::Stiffness(21, 21, 20), seed: 33 },
-        SuiteEntry { key: "BRCK", paper_name: "BRACK2", description: "3D finite element mesh", paper_order: 62631, paper_nonzeros: 366559, kind: Kind::Tet3d(40, 40, 39), seed: 0xb2 },
-        SuiteEntry { key: "BSP10", paper_name: "BCSPWR10", description: "Eastern US power network", paper_order: 5300, paper_nonzeros: 8271, kind: Kind::PowerGrid(5300), seed: 10 },
-        SuiteEntry { key: "CANT", paper_name: "CANT", description: "3D stiffness matrix", paper_order: 54195, paper_nonzeros: 1960797, kind: Kind::Stiffness(38, 38, 38), seed: 0xca },
-        SuiteEntry { key: "COPT", paper_name: "COPTER2", description: "3D finite element mesh", paper_order: 55476, paper_nonzeros: 352238, kind: Kind::Tet3d(38, 38, 38), seed: 0xc0 },
-        SuiteEntry { key: "CY93", paper_name: "CYLINDER93", description: "3D stiffness matrix", paper_order: 45594, paper_nonzeros: 1786726, kind: Kind::StiffnessWrapped(150, 19, 16), seed: 93 },
-        SuiteEntry { key: "FINC", paper_name: "FINAN512", description: "linear programming", paper_order: 74752, paper_nonzeros: 335872, kind: Kind::Lp(512, 146), seed: 512 },
-        SuiteEntry { key: "INPR", paper_name: "INPRO1", description: "3D stiffness matrix", paper_order: 46949, paper_nonzeros: 1117809, kind: Kind::Stiffness(36, 36, 36), seed: 0x1a },
-        SuiteEntry { key: "LHR", paper_name: "LHR71", description: "3D coefficient matrix", paper_order: 70304, paper_nonzeros: 1528092, kind: Kind::Tet3d(41, 41, 42), seed: 71 },
-        SuiteEntry { key: "LS34", paper_name: "LSHP3466", description: "graded L-shape pattern", paper_order: 3466, paper_nonzeros: 10215, kind: Kind::LShape(68), seed: 34 },
-        SuiteEntry { key: "MAP", paper_name: "MAP", description: "highway network", paper_order: 267241, paper_nonzeros: 937103, kind: Kind::Road(517, 517), seed: 0x3a9 },
-        SuiteEntry { key: "MEM", paper_name: "MEMPLUS", description: "memory circuit", paper_order: 17758, paper_nonzeros: 126150, kind: Kind::PowerLaw(17758, 3), seed: 0x3e3 },
-        SuiteEntry { key: "ROTR", paper_name: "ROTOR", description: "3D finite element mesh", paper_order: 99617, paper_nonzeros: 662431, kind: Kind::Tet3d(47, 46, 46), seed: 0x40 },
-        SuiteEntry { key: "S38", paper_name: "S38584.1", description: "sequential circuit", paper_order: 22143, paper_nonzeros: 93359, kind: Kind::PowerLaw(22143, 2), seed: 0x385 },
-        SuiteEntry { key: "SHEL", paper_name: "SHELL93", description: "3D stiffness matrix", paper_order: 181200, paper_nonzeros: 2313765, kind: Kind::StiffnessWrapped(302, 300, 2), seed: 0x93 },
-        SuiteEntry { key: "SHYY", paper_name: "SHYY161", description: "CFD/Navier-Stokes", paper_order: 76480, paper_nonzeros: 329762, kind: Kind::Grid9(277, 276), seed: 161 },
-        SuiteEntry { key: "TROL", paper_name: "TROLL", description: "3D stiffness matrix", paper_order: 213453, paper_nonzeros: 5885829, kind: Kind::Stiffness(60, 60, 60), seed: 0x7011 },
-        SuiteEntry { key: "WAVE", paper_name: "WAVE", description: "3D finite element mesh", paper_order: 156317, paper_nonzeros: 1059331, kind: Kind::Tet3d(54, 54, 54), seed: 0x3a5e },
+        SuiteEntry {
+            key: "4ELT",
+            paper_name: "4ELT",
+            description: "2D finite element mesh",
+            paper_order: 15606,
+            paper_nonzeros: 45878,
+            kind: Kind::Tri2d(125, 125),
+            seed: 0x4e17,
+        },
+        SuiteEntry {
+            key: "BC28",
+            paper_name: "BCSSTK28",
+            description: "solid element model",
+            paper_order: 4410,
+            paper_nonzeros: 107307,
+            kind: Kind::Stiffness(17, 16, 16),
+            seed: 28,
+        },
+        SuiteEntry {
+            key: "BC29",
+            paper_name: "BCSSTK29",
+            description: "3D stiffness matrix",
+            paper_order: 13992,
+            paper_nonzeros: 302748,
+            kind: Kind::Stiffness(24, 24, 24),
+            seed: 29,
+        },
+        SuiteEntry {
+            key: "BC30",
+            paper_name: "BCSSTK30",
+            description: "3D stiffness matrix",
+            paper_order: 28294,
+            paper_nonzeros: 1007284,
+            kind: Kind::Stiffness(31, 31, 30),
+            seed: 30,
+        },
+        SuiteEntry {
+            key: "BC31",
+            paper_name: "BCSSTK31",
+            description: "3D stiffness matrix",
+            paper_order: 35588,
+            paper_nonzeros: 572914,
+            kind: Kind::Stiffness(33, 33, 33),
+            seed: 31,
+        },
+        SuiteEntry {
+            key: "BC32",
+            paper_name: "BCSSTK32",
+            description: "3D stiffness matrix",
+            paper_order: 44609,
+            paper_nonzeros: 985046,
+            kind: Kind::Stiffness(36, 35, 35),
+            seed: 32,
+        },
+        SuiteEntry {
+            key: "BC33",
+            paper_name: "BCSSTK33",
+            description: "3D stiffness matrix",
+            paper_order: 8738,
+            paper_nonzeros: 291583,
+            kind: Kind::Stiffness(21, 21, 20),
+            seed: 33,
+        },
+        SuiteEntry {
+            key: "BRCK",
+            paper_name: "BRACK2",
+            description: "3D finite element mesh",
+            paper_order: 62631,
+            paper_nonzeros: 366559,
+            kind: Kind::Tet3d(40, 40, 39),
+            seed: 0xb2,
+        },
+        SuiteEntry {
+            key: "BSP10",
+            paper_name: "BCSPWR10",
+            description: "Eastern US power network",
+            paper_order: 5300,
+            paper_nonzeros: 8271,
+            kind: Kind::PowerGrid(5300),
+            seed: 10,
+        },
+        SuiteEntry {
+            key: "CANT",
+            paper_name: "CANT",
+            description: "3D stiffness matrix",
+            paper_order: 54195,
+            paper_nonzeros: 1960797,
+            kind: Kind::Stiffness(38, 38, 38),
+            seed: 0xca,
+        },
+        SuiteEntry {
+            key: "COPT",
+            paper_name: "COPTER2",
+            description: "3D finite element mesh",
+            paper_order: 55476,
+            paper_nonzeros: 352238,
+            kind: Kind::Tet3d(38, 38, 38),
+            seed: 0xc0,
+        },
+        SuiteEntry {
+            key: "CY93",
+            paper_name: "CYLINDER93",
+            description: "3D stiffness matrix",
+            paper_order: 45594,
+            paper_nonzeros: 1786726,
+            kind: Kind::StiffnessWrapped(150, 19, 16),
+            seed: 93,
+        },
+        SuiteEntry {
+            key: "FINC",
+            paper_name: "FINAN512",
+            description: "linear programming",
+            paper_order: 74752,
+            paper_nonzeros: 335872,
+            kind: Kind::Lp(512, 146),
+            seed: 512,
+        },
+        SuiteEntry {
+            key: "INPR",
+            paper_name: "INPRO1",
+            description: "3D stiffness matrix",
+            paper_order: 46949,
+            paper_nonzeros: 1117809,
+            kind: Kind::Stiffness(36, 36, 36),
+            seed: 0x1a,
+        },
+        SuiteEntry {
+            key: "LHR",
+            paper_name: "LHR71",
+            description: "3D coefficient matrix",
+            paper_order: 70304,
+            paper_nonzeros: 1528092,
+            kind: Kind::Tet3d(41, 41, 42),
+            seed: 71,
+        },
+        SuiteEntry {
+            key: "LS34",
+            paper_name: "LSHP3466",
+            description: "graded L-shape pattern",
+            paper_order: 3466,
+            paper_nonzeros: 10215,
+            kind: Kind::LShape(68),
+            seed: 34,
+        },
+        SuiteEntry {
+            key: "MAP",
+            paper_name: "MAP",
+            description: "highway network",
+            paper_order: 267241,
+            paper_nonzeros: 937103,
+            kind: Kind::Road(517, 517),
+            seed: 0x3a9,
+        },
+        SuiteEntry {
+            key: "MEM",
+            paper_name: "MEMPLUS",
+            description: "memory circuit",
+            paper_order: 17758,
+            paper_nonzeros: 126150,
+            kind: Kind::PowerLaw(17758, 3),
+            seed: 0x3e3,
+        },
+        SuiteEntry {
+            key: "ROTR",
+            paper_name: "ROTOR",
+            description: "3D finite element mesh",
+            paper_order: 99617,
+            paper_nonzeros: 662431,
+            kind: Kind::Tet3d(47, 46, 46),
+            seed: 0x40,
+        },
+        SuiteEntry {
+            key: "S38",
+            paper_name: "S38584.1",
+            description: "sequential circuit",
+            paper_order: 22143,
+            paper_nonzeros: 93359,
+            kind: Kind::PowerLaw(22143, 2),
+            seed: 0x385,
+        },
+        SuiteEntry {
+            key: "SHEL",
+            paper_name: "SHELL93",
+            description: "3D stiffness matrix",
+            paper_order: 181200,
+            paper_nonzeros: 2313765,
+            kind: Kind::StiffnessWrapped(302, 300, 2),
+            seed: 0x93,
+        },
+        SuiteEntry {
+            key: "SHYY",
+            paper_name: "SHYY161",
+            description: "CFD/Navier-Stokes",
+            paper_order: 76480,
+            paper_nonzeros: 329762,
+            kind: Kind::Grid9(277, 276),
+            seed: 161,
+        },
+        SuiteEntry {
+            key: "TROL",
+            paper_name: "TROLL",
+            description: "3D stiffness matrix",
+            paper_order: 213453,
+            paper_nonzeros: 5885829,
+            kind: Kind::Stiffness(60, 60, 60),
+            seed: 0x7011,
+        },
+        SuiteEntry {
+            key: "WAVE",
+            paper_name: "WAVE",
+            description: "3D finite element mesh",
+            paper_order: 156317,
+            paper_nonzeros: 1059331,
+            kind: Kind::Tet3d(54, 54, 54),
+            seed: 0x3a5e,
+        },
     ];
     S
 }
@@ -129,18 +323,27 @@ pub fn entry(key: &str) -> Option<&'static SuiteEntry> {
 
 /// The 12 rows used by Tables 2, 3 and 4 of the paper, in table order.
 pub fn table_rows() -> [&'static str; 12] {
-    ["BC31", "BC32", "BRCK", "CANT", "COPT", "CY93", "4ELT", "INPR", "ROTR", "SHEL", "TROL", "WAVE"]
+    [
+        "BC31", "BC32", "BRCK", "CANT", "COPT", "CY93", "4ELT", "INPR", "ROTR", "SHEL", "TROL",
+        "WAVE",
+    ]
 }
 
 /// The 16 bars of Figures 1-4, in figure order.
 pub fn figure_rows() -> [&'static str; 16] {
-    ["BC30", "BC32", "BRCK", "CANT", "COPT", "CY93", "FINC", "LHR", "MAP", "MEM", "ROTR", "S38", "SHEL", "SHYY", "TROL", "WAVE"]
+    [
+        "BC30", "BC32", "BRCK", "CANT", "COPT", "CY93", "FINC", "LHR", "MAP", "MEM", "ROTR", "S38",
+        "SHEL", "SHYY", "TROL", "WAVE",
+    ]
 }
 
 /// The 18 bars of Figure 5 (ordering quality), in increasing matrix order as
 /// the paper displays them.
 pub fn fig5_rows() -> [&'static str; 18] {
-    ["LS34", "BC28", "BSP10", "BC33", "BC29", "4ELT", "BC30", "BC31", "BC32", "CY93", "INPR", "CANT", "COPT", "BRCK", "ROTR", "WAVE", "SHEL", "TROL"]
+    [
+        "LS34", "BC28", "BSP10", "BC33", "BC29", "4ELT", "BC30", "BC31", "BC32", "CY93", "INPR",
+        "CANT", "COPT", "BRCK", "ROTR", "WAVE", "SHEL", "TROL",
+    ]
 }
 
 #[cfg(test)]
@@ -150,7 +353,11 @@ mod tests {
 
     #[test]
     fn all_rows_resolve() {
-        for k in table_rows().iter().chain(figure_rows().iter()).chain(fig5_rows().iter()) {
+        for k in table_rows()
+            .iter()
+            .chain(figure_rows().iter())
+            .chain(fig5_rows().iter())
+        {
             assert!(entry(k).is_some(), "missing suite entry {k}");
         }
     }
@@ -183,7 +390,12 @@ mod tests {
             let e = entry(key).unwrap();
             let g = e.generate();
             let ratio = g.n() as f64 / e.paper_order as f64;
-            assert!((0.8..1.25).contains(&ratio), "{key}: n={} paper={}", g.n(), e.paper_order);
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{key}: n={} paper={}",
+                g.n(),
+                e.paper_order
+            );
         }
     }
 

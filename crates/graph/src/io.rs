@@ -66,8 +66,12 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     if head.len() < 2 {
         return parse_err("header must be `n m [fmt]`");
     }
-    let n: usize = head[0].parse().map_err(|_| IoError::Parse("bad n".into()))?;
-    let m: usize = head[1].parse().map_err(|_| IoError::Parse("bad m".into()))?;
+    let n: usize = head[0]
+        .parse()
+        .map_err(|_| IoError::Parse("bad n".into()))?;
+    let m: usize = head[1]
+        .parse()
+        .map_err(|_| IoError::Parse("bad m".into()))?;
     let fmt = if head.len() > 2 { head[2] } else { "0" };
     let (has_vwgt, has_ewgt) = match fmt {
         "0" | "00" => (false, false),
@@ -186,7 +190,10 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|s| s.parse().map_err(|_| IoError::Parse("bad size line".into())))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| IoError::Parse("bad size line".into()))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return parse_err("size line must be `rows cols nnz`");
@@ -210,8 +217,12 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
         if !pattern && tok.next().is_none() {
             return parse_err("missing value on entry line");
         }
-        let i: usize = i.parse().map_err(|_| IoError::Parse("bad row index".into()))?;
-        let j: usize = j.parse().map_err(|_| IoError::Parse("bad col index".into()))?;
+        let i: usize = i
+            .parse()
+            .map_err(|_| IoError::Parse("bad row index".into()))?;
+        let j: usize = j
+            .parse()
+            .map_err(|_| IoError::Parse("bad col index".into()))?;
         if i == 0 || i > rows || j == 0 || j > rows {
             return parse_err("index out of range");
         }
@@ -330,7 +341,11 @@ mod tests {
     #[test]
     fn matrix_market_round_trips_structure() {
         let mut b = GraphBuilder::new(5);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 4).add_edge(4, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 0);
         let g = b.build();
         let mut buf = Vec::new();
         write_matrix_market(&g, &mut buf).unwrap();

@@ -39,7 +39,10 @@ impl Permutation {
         let mut iperm = vec![Vid::MAX; n];
         for (old, &new) in perm.iter().enumerate() {
             assert!((new as usize) < n, "perm value {new} out of range");
-            assert!(iperm[new as usize] == Vid::MAX, "perm not injective at {new}");
+            assert!(
+                iperm[new as usize] == Vid::MAX,
+                "perm not injective at {new}"
+            );
             iperm[new as usize] = old as Vid;
         }
         Self { perm, iperm }

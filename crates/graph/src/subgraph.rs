@@ -30,7 +30,11 @@ pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> Subgraph {
     let k = orig.len();
     let mut xadj = vec![0u32; k + 1];
     for (i, &v) in orig.iter().enumerate() {
-        let deg = g.neighbors(v).iter().filter(|&&u| select[u as usize]).count();
+        let deg = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| select[u as usize])
+            .count();
         xadj[i + 1] = xadj[i] + deg as u32;
     }
     let nnz = *xadj.last().unwrap() as usize;

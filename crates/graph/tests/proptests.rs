@@ -12,10 +12,8 @@ use proptest::prelude::*;
 /// Strategy: an arbitrary weighted edge list over `n` vertices.
 fn edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, i64)>)> {
     (2usize..max_n).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 1i64..10),
-            0..(4 * n).min(400),
-        );
+        let edges =
+            prop::collection::vec((0..n as u32, 0..n as u32, 1i64..10), 0..(4 * n).min(400));
         (Just(n), edges)
     })
 }

@@ -15,7 +15,10 @@ pub struct DenseSym {
 impl DenseSym {
     /// Zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, a: vec![0.0; n * n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.

@@ -235,7 +235,10 @@ mod tests {
         let g = lshape(24);
         let lap = Laplacian::new(&g);
         let r = lanczos_fiedler(&lap, &LanczosOptions::default());
-        assert!(r.lambda > 1e-6, "lambda2 must be positive on connected graph");
+        assert!(
+            r.lambda > 1e-6,
+            "lambda2 must be positive on connected graph"
+        );
         assert!(r.residual < 1e-4 * lap.spectral_upper_bound());
         // Orthogonal to constants.
         assert!(r.vector.iter().sum::<f64>().abs() < 1e-8);

@@ -24,7 +24,9 @@ pub struct Laplacian<'a> {
 impl<'a> Laplacian<'a> {
     /// Wrap a graph; precomputes the degree diagonal.
     pub fn new(g: &'a CsrGraph) -> Self {
-        let deg = (0..g.n() as Vid).map(|v| g.weighted_degree(v) as f64).collect();
+        let deg = (0..g.n() as Vid)
+            .map(|v| g.weighted_degree(v) as f64)
+            .collect();
         Self { g, deg }
     }
 
@@ -84,9 +86,12 @@ impl SymOp for Laplacian<'_> {
         };
         if self.g.n() >= PAR_APPLY_THRESHOLD {
             use rayon::prelude::*;
-            y.par_iter_mut().enumerate().with_min_len(4096).for_each(|(v, yv)| {
-                *yv = row(v as Vid);
-            });
+            y.par_iter_mut()
+                .enumerate()
+                .with_min_len(4096)
+                .for_each(|(v, yv)| {
+                    *yv = row(v as Vid);
+                });
         } else {
             for v in 0..self.g.n() as Vid {
                 y[v as usize] = row(v);
@@ -163,7 +168,10 @@ mod tests {
     fn shifted_operator() {
         let g = path3();
         let lap = Laplacian::new(&g);
-        let sh = Shifted { op: &lap, sigma: 1.0 };
+        let sh = Shifted {
+            op: &lap,
+            sigma: 1.0,
+        };
         let x = vec![1.0, 0.0, 0.0];
         let mut y = vec![0.0; 3];
         sh.apply(&x, &mut y);

@@ -30,6 +30,60 @@ pub use minres::{minres, MinresOptions, MinresResult};
 pub use rqi::{rqi_refine, RqiOptions, RqiResult};
 
 use mlgp_graph::CsrGraph;
+use mlgp_trace::{Event, Trace};
+
+/// [`lanczos_fiedler`] recording an `eigen` event (solver `"lanczos"`,
+/// matvec count, final residual) on `trace`.
+pub fn lanczos_fiedler_traced<O: SymOp>(
+    op: &O,
+    opts: &LanczosOptions,
+    trace: &Trace,
+) -> LanczosResult {
+    let r = lanczos_fiedler(op, opts);
+    trace.record(|| Event::Eigen {
+        solver: "lanczos",
+        n: op.dim(),
+        iters: r.matvecs,
+        residual: r.residual,
+    });
+    r
+}
+
+/// [`minres`] recording an `eigen` event (solver `"minres"`, Krylov steps,
+/// final residual) on `trace`.
+pub fn minres_traced<O: SymOp>(
+    op: &O,
+    b: &[f64],
+    opts: &MinresOptions,
+    trace: &Trace,
+) -> MinresResult {
+    let r = minres(op, b, opts);
+    trace.record(|| Event::Eigen {
+        solver: "minres",
+        n: op.dim(),
+        iters: r.iters,
+        residual: r.residual,
+    });
+    r
+}
+
+/// [`rqi_refine`] recording an `eigen` event (solver `"rqi"`, outer
+/// iterations, final eigen-residual) on `trace`.
+pub fn rqi_refine_traced(
+    lap: &Laplacian<'_>,
+    x0: &[f64],
+    opts: &RqiOptions,
+    trace: &Trace,
+) -> RqiResult {
+    let r = rqi_refine(lap, x0, opts);
+    trace.record(|| Event::Eigen {
+        solver: "rqi",
+        n: lap.dim(),
+        iters: r.outer_iters,
+        residual: r.residual,
+    });
+    r
+}
 
 /// Size threshold below which the dense Jacobi path is used for Fiedler
 /// vectors; above it, Lanczos.
@@ -38,17 +92,32 @@ pub const DENSE_FIEDLER_LIMIT: usize = 320;
 /// Compute `(λ₂, fiedler vector)` of a connected graph, dispatching between
 /// the dense and iterative solvers by size.
 pub fn fiedler_vector(g: &CsrGraph, seed: u64) -> (f64, Vec<f64>) {
+    fiedler_vector_traced(g, seed, &Trace::disabled())
+}
+
+/// [`fiedler_vector`] recording an `eigen` event per solve (the dense path
+/// reports solver `"dense-jacobi"` with zero iterations and residual — it
+/// is direct to machine precision).
+pub fn fiedler_vector_traced(g: &CsrGraph, seed: u64, trace: &Trace) -> (f64, Vec<f64>) {
     assert!(g.n() >= 2);
     if g.n() <= DENSE_FIEDLER_LIMIT {
-        fiedler_dense(g)
+        let (lambda, vector) = fiedler_dense(g);
+        trace.record(|| Event::Eigen {
+            solver: "dense-jacobi",
+            n: g.n(),
+            iters: 0,
+            residual: 0.0,
+        });
+        (lambda, vector)
     } else {
         let lap = Laplacian::new(g);
-        let r = lanczos_fiedler(
+        let r = lanczos_fiedler_traced(
             &lap,
             &LanczosOptions {
                 seed,
                 ..LanczosOptions::default()
             },
+            trace,
         );
         (r.lambda, r.vector)
     }

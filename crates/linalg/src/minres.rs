@@ -53,7 +53,11 @@ pub fn minres<O: SymOp>(op: &O, b: &[f64], opts: &MinresOptions) -> MinresResult
     }
     let beta1 = norm(&r);
     if beta1 == 0.0 {
-        return MinresResult { x, residual: 0.0, iters: 0 };
+        return MinresResult {
+            x,
+            residual: 0.0,
+            iters: 0,
+        };
     }
     let mut v_prev = vec![0.0; n];
     let mut v: Vec<f64> = r.iter().map(|ri| ri / beta1).collect();
@@ -114,7 +118,11 @@ pub fn minres<O: SymOp>(op: &O, b: &[f64], opts: &MinresOptions) -> MinresResult
     if opts.deflate {
         deflate_constant(&mut x);
     }
-    MinresResult { x, residual: eta.abs(), iters }
+    MinresResult {
+        x,
+        residual: eta.abs(),
+        iters,
+    }
 }
 
 #[cfg(test)]
@@ -143,7 +151,10 @@ mod tests {
     #[test]
     fn solves_spd_system() {
         // A = [[4,1],[1,3]], b = [1,2] => x = [1/11, 7/11]
-        let op = DenseOp { n: 2, a: vec![4.0, 1.0, 1.0, 3.0] };
+        let op = DenseOp {
+            n: 2,
+            a: vec![4.0, 1.0, 1.0, 3.0],
+        };
         let r = minres(&op, &[1.0, 2.0], &MinresOptions::default());
         assert!((r.x[0] - 1.0 / 11.0).abs() < 1e-8, "{:?}", r.x);
         assert!((r.x[1] - 7.0 / 11.0).abs() < 1e-8);
@@ -152,7 +163,10 @@ mod tests {
     #[test]
     fn solves_indefinite_system() {
         // A = diag(2, -1): indefinite; b = [2, 3] => x = [1, -3].
-        let op = DenseOp { n: 2, a: vec![2.0, 0.0, 0.0, -1.0] };
+        let op = DenseOp {
+            n: 2,
+            a: vec![2.0, 0.0, 0.0, -1.0],
+        };
         let r = minres(&op, &[2.0, 3.0], &MinresOptions::default());
         assert!((r.x[0] - 1.0).abs() < 1e-8);
         assert!((r.x[1] + 3.0).abs() < 1e-8);
@@ -160,7 +174,10 @@ mod tests {
 
     #[test]
     fn zero_rhs() {
-        let op = DenseOp { n: 2, a: vec![1.0, 0.0, 0.0, 1.0] };
+        let op = DenseOp {
+            n: 2,
+            a: vec![1.0, 0.0, 0.0, 1.0],
+        };
         let r = minres(&op, &[0.0, 0.0], &MinresOptions::default());
         assert_eq!(r.x, vec![0.0, 0.0]);
         assert_eq!(r.iters, 0);
@@ -172,13 +189,20 @@ mod tests {
         // the restricted operator is definite and the solve must succeed.
         let g = grid2d(5, 4);
         let lap = Laplacian::new(&g);
-        let sh = Shifted { op: &lap, sigma: 0.05 };
+        let sh = Shifted {
+            op: &lap,
+            sigma: 0.05,
+        };
         let mut b: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
         deflate_constant(&mut b);
         let r = minres(
             &sh,
             &b,
-            &MinresOptions { max_iters: 500, tol: 1e-10, deflate: true },
+            &MinresOptions {
+                max_iters: 500,
+                tol: 1e-10,
+                deflate: true,
+            },
         );
         // Check true residual within the subspace.
         let mut ax = vec![0.0; g.n()];
@@ -197,10 +221,20 @@ mod tests {
         bld.add_edge(0, 1).add_edge(1, 2);
         let g = bld.build();
         let lap = Laplacian::new(&g);
-        let sh = Shifted { op: &lap, sigma: 0.5 };
+        let sh = Shifted {
+            op: &lap,
+            sigma: 0.5,
+        };
         let mut b = vec![1.0, 0.0, -1.0];
         deflate_constant(&mut b);
-        let r = minres(&sh, &b, &MinresOptions { deflate: true, ..Default::default() });
+        let r = minres(
+            &sh,
+            &b,
+            &MinresOptions {
+                deflate: true,
+                ..Default::default()
+            },
+        );
         assert!(r.residual < 1e-6);
     }
 }

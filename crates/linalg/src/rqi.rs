@@ -71,7 +71,10 @@ pub fn rqi_refine(lap: &Laplacian<'_>, x0: &[f64], opts: &RqiOptions) -> RqiResu
         if residual <= opts.tol * scale {
             break;
         }
-        let shifted = Shifted { op: lap, sigma: rho };
+        let shifted = Shifted {
+            op: lap,
+            sigma: rho,
+        };
         let solve = minres(
             &shifted,
             &x,
@@ -133,7 +136,11 @@ mod tests {
         let x0: Vec<f64> = (0..g.n()).map(|i| (i % 12) as f64).collect();
         let r = rqi_refine(&lap, &x0, &RqiOptions::default());
         assert!(r.lambda > 0.0);
-        assert!(r.residual < 1e-4 * lap.spectral_upper_bound(), "res {}", r.residual);
+        assert!(
+            r.residual < 1e-4 * lap.spectral_upper_bound(),
+            "res {}",
+            r.residual
+        );
         assert!(r.vector.iter().sum::<f64>().abs() < 1e-8);
     }
 

@@ -131,8 +131,8 @@ pub fn analyze_ordering(g: &CsrGraph, p: &Permutation) -> SymbolicStats {
 mod tests {
     use super::*;
     use mlgp_graph::generators::grid2d;
-    use mlgp_graph::Vid;
     use mlgp_graph::GraphBuilder;
+    use mlgp_graph::Vid;
 
     fn path(n: usize) -> CsrGraph {
         let mut b = GraphBuilder::new(n);

@@ -29,7 +29,9 @@ pub mod vcover;
 pub use cholesky::{apply_shifted_laplacian, factor_laplacian, LdlFactor};
 pub use etree::{analyze_ordering, column_counts, elimination_tree, etree_height, SymbolicStats};
 pub use mmd::mmd_order;
-pub use nested::{mlnd_order, nested_dissection, snd_order, NdBisector, NdConfig};
+pub use nested::{
+    mlnd_order, nested_dissection, nested_dissection_traced, snd_order, NdBisector, NdConfig,
+};
 pub use seprefine::{refine_separator, separator_weight, SepRefineOptions};
 pub use vcover::{
     hopcroft_karp, konig_cover, separator_is_valid, vertex_separator, SEPARATOR, SIDE_A, SIDE_B,

@@ -202,8 +202,7 @@ impl<'g> Mmd<'g> {
         // --- Supernode detection among Lp -------------------------------
         // Bucket entries: (representative, element list, node list).
         type Bucket = Vec<(u32, Vec<u32>, Vec<u32>)>;
-        let mut buckets: std::collections::HashMap<u64, Bucket> =
-            std::collections::HashMap::new();
+        let mut buckets: std::collections::HashMap<u64, Bucket> = std::collections::HashMap::new();
         for &u in &lp {
             let (elist, nlist) = self.canonical_lists(u);
             let mut hash = 0u64;
@@ -493,6 +492,9 @@ mod tests {
         // 0 and 1 are indistinguishable: they end up adjacent in the order
         // once either becomes a pivot (they may also simply be eliminated
         // late; accept adjacency OR both in the final two positions).
-        assert!((pos0 - pos1).abs() == 1 || (pos0 >= 4 && pos1 >= 4), "{pos0} {pos1}");
+        assert!(
+            (pos0 - pos1).abs() == 1 || (pos0 >= 4 && pos1 >= 4),
+            "{pos0} {pos1}"
+        );
     }
 }

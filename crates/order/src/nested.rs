@@ -11,8 +11,9 @@
 use crate::mmd::mmd_order;
 use crate::vcover::{vertex_separator, SEPARATOR, SIDE_A, SIDE_B};
 use mlgp_graph::{induced_subgraph, CsrGraph, Permutation, Vid};
-use mlgp_part::{bisect_targets, MlConfig};
+use mlgp_part::{bisect_targets_traced, MlConfig};
 use mlgp_spectral::{msb_bisect_targets, MsbConfig};
+use mlgp_trace::{Event, Trace};
 
 /// Which bisection engine drives the dissection.
 #[derive(Clone, Copy, Debug)]
@@ -66,8 +67,24 @@ impl NdConfig {
 
 /// Compute a fill-reducing nested dissection ordering of `g`.
 pub fn nested_dissection(g: &CsrGraph, cfg: &NdConfig) -> Permutation {
+    nested_dissection_traced(g, cfg, &Trace::disabled())
+}
+
+/// [`nested_dissection`] with telemetry: one `separator` event per
+/// dissection split (depth, subgraph size, separator size) plus phase spans
+/// (`nd/bisect`, `nd/separator`, `nd/mmd`) and a `separator_vertices`
+/// counter. The multilevel bisector additionally records its own per-level
+/// coarsening/refinement events.
+pub fn nested_dissection_traced(g: &CsrGraph, cfg: &NdConfig, trace: &Trace) -> Permutation {
     let mut seq = Vec::with_capacity(g.n());
-    order_rec(g, &(0..g.n() as Vid).collect::<Vec<_>>(), cfg, 1, &mut seq);
+    order_rec(
+        g,
+        &(0..g.n() as Vid).collect::<Vec<_>>(),
+        cfg,
+        1,
+        &mut seq,
+        trace,
+    );
     debug_assert_eq!(seq.len(), g.n());
     Permutation::from_inverse(seq)
 }
@@ -84,27 +101,41 @@ pub fn snd_order(g: &CsrGraph) -> Permutation {
 
 /// Order the subgraph `sub` (whose vertices map to original ids via `orig`)
 /// and append the elimination sequence (original ids) to `seq`.
-fn order_rec(sub: &CsrGraph, orig: &[Vid], cfg: &NdConfig, salt: u64, seq: &mut Vec<Vid>) {
+fn order_rec(
+    sub: &CsrGraph,
+    orig: &[Vid],
+    cfg: &NdConfig,
+    salt: u64,
+    seq: &mut Vec<Vid>,
+    trace: &Trace,
+) {
     let n = sub.n();
     if n == 0 {
         return;
     }
     if n <= cfg.leaf_size {
+        let t = trace.start();
         let p = mmd_order(sub);
+        trace.stop(t, "nd/mmd");
         seq.extend(p.iperm().iter().map(|&v| orig[v as usize]));
         return;
     }
     // Bisect, then lift the edge separator to a vertex separator.
     let total = sub.total_vwgt();
     let targets = [total / 2, total - total / 2];
+    let t = trace.start();
     let part = match &cfg.bisector {
-        NdBisector::Multilevel(ml) => bisect_targets(sub, &ml.reseed(salt), targets).part,
+        NdBisector::Multilevel(ml) => {
+            bisect_targets_traced(sub, &ml.reseed(salt), targets, trace).part
+        }
         NdBisector::Spectral(sc) => {
             let mut c = *sc;
             c.seed = sc.seed.wrapping_add(salt);
             msb_bisect_targets(sub, &c, targets)
         }
     };
+    trace.stop(t, "nd/bisect");
+    let t = trace.start();
     let mut labels = vertex_separator(sub, &part);
     if cfg.refine_separator {
         crate::seprefine::refine_separator(
@@ -113,7 +144,16 @@ fn order_rec(sub: &CsrGraph, orig: &[Vid], cfg: &NdConfig, salt: u64, seq: &mut 
             &crate::seprefine::SepRefineOptions::default(),
         );
     }
+    trace.stop(t, "nd/separator");
     let sep_count = labels.iter().filter(|&&l| l == SEPARATOR).count();
+    // The recursion salt doubles per level, so its bit length is the depth.
+    let depth = (u64::BITS - 1 - salt.leading_zeros()) as usize;
+    trace.record(|| Event::Separator {
+        depth,
+        vertices: n,
+        separator: sep_count,
+    });
+    trace.count("separator_vertices", sep_count as u64);
     if sep_count == 0 || sep_count == n {
         // Degenerate split (e.g. everything became separator, or the graph
         // was disconnected with an empty cut): fall back to MMD to
@@ -132,12 +172,12 @@ fn order_rec(sub: &CsrGraph, orig: &[Vid], cfg: &NdConfig, salt: u64, seq: &mut 
     let mut seq_b = Vec::with_capacity(sub_b.graph.n());
     if n >= cfg.parallel_threshold {
         rayon::join(
-            || order_rec(&sub_a.graph, &orig_a, cfg, salt * 2, &mut seq_a),
-            || order_rec(&sub_b.graph, &orig_b, cfg, salt * 2 + 1, &mut seq_b),
+            || order_rec(&sub_a.graph, &orig_a, cfg, salt * 2, &mut seq_a, trace),
+            || order_rec(&sub_b.graph, &orig_b, cfg, salt * 2 + 1, &mut seq_b, trace),
         );
     } else {
-        order_rec(&sub_a.graph, &orig_a, cfg, salt * 2, &mut seq_a);
-        order_rec(&sub_b.graph, &orig_b, cfg, salt * 2 + 1, &mut seq_b);
+        order_rec(&sub_a.graph, &orig_a, cfg, salt * 2, &mut seq_a, trace);
+        order_rec(&sub_b.graph, &orig_b, cfg, salt * 2 + 1, &mut seq_b, trace);
     }
     seq.append(&mut seq_a);
     seq.append(&mut seq_b);
@@ -183,7 +223,12 @@ mod tests {
         let g = grid2d(24, 24);
         let nd = analyze_ordering(&g, &mlnd_order(&g));
         let nat = analyze_ordering(&g, &Permutation::identity(g.n()));
-        assert!(nd.opcount < nat.opcount, "{} vs {}", nd.opcount, nat.opcount);
+        assert!(
+            nd.opcount < nat.opcount,
+            "{} vs {}",
+            nd.opcount,
+            nat.opcount
+        );
     }
 
     #[test]

@@ -200,10 +200,19 @@ mod tests {
         let (before, after) = checked_refine(&g, &mut labels);
         assert!(after <= before, "{after} > {before}");
         // Sides stay within the balance envelope.
-        let wa: Wgt = (0..g.n()).filter(|&v| labels[v] == SIDE_A).map(|v| g.vwgt()[v]).sum();
-        let wb: Wgt = (0..g.n()).filter(|&v| labels[v] == SIDE_B).map(|v| g.vwgt()[v]).sum();
+        let wa: Wgt = (0..g.n())
+            .filter(|&v| labels[v] == SIDE_A)
+            .map(|v| g.vwgt()[v])
+            .sum();
+        let wb: Wgt = (0..g.n())
+            .filter(|&v| labels[v] == SIDE_B)
+            .map(|v| g.vwgt()[v])
+            .sum();
         let half = g.total_vwgt() as f64 / 2.0;
-        assert!(wa as f64 <= 1.12 * half && wb as f64 <= 1.12 * half, "{wa} {wb}");
+        assert!(
+            wa as f64 <= 1.12 * half && wb as f64 <= 1.12 * half,
+            "{wa} {wb}"
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ pub fn konig_cover(nl: usize, nr: usize, adj: &[Vec<u32>]) -> (Vec<bool>, Vec<bo
     // (unmatched edge L→R, matched edge R→L).
     let mut z_l = vec![false; nl];
     let mut z_r = vec![false; nr];
-    let mut stack: Vec<u32> = (0..nl as u32).filter(|&l| match_l[l as usize] == NONE).collect();
+    let mut stack: Vec<u32> = (0..nl as u32)
+        .filter(|&l| match_l[l as usize] == NONE)
+        .collect();
     for &l in &stack {
         z_l[l as usize] = true;
     }

@@ -12,11 +12,9 @@ use rand::RngExt;
 /// Strategy: a random bipartite graph as adjacency lists.
 fn bipartite() -> impl Strategy<Value = (usize, usize, Vec<Vec<u32>>)> {
     (1usize..12, 1usize..12).prop_flat_map(|(nl, nr)| {
-        let adj = prop::collection::vec(
-            prop::collection::btree_set(0..nr as u32, 0..nr.min(6)),
-            nl,
-        )
-        .prop_map(|rows| rows.into_iter().map(|s| s.into_iter().collect()).collect());
+        let adj =
+            prop::collection::vec(prop::collection::btree_set(0..nr as u32, 0..nr.min(6)), nl)
+                .prop_map(|rows| rows.into_iter().map(|s| s.into_iter().collect()).collect());
         (Just(nl), Just(nr), adj)
     })
 }
@@ -43,9 +41,7 @@ fn brute_matching(nl: usize, nr: usize, adj: &[Vec<u32>]) -> usize {
         for &r in &adj[l] {
             if !seen[r as usize] {
                 seen[r as usize] = true;
-                if mr[r as usize] < 0
-                    || try_kuhn(mr[r as usize] as usize, adj, seen, mr)
-                {
+                if mr[r as usize] < 0 || try_kuhn(mr[r as usize] as usize, adj, seen, mr) {
                     mr[r as usize] = l as i64;
                     return true;
                 }

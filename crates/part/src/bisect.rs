@@ -2,13 +2,14 @@
 //! graph, uncoarsen with refinement. Phase timings are recorded in the
 //! paper's vocabulary (CTime; UTime = ITime + RTime + PTime).
 
-use crate::coarsen::coarsen;
+use crate::coarsen::{coarsen, Hierarchy};
 use crate::config::MlConfig;
-use crate::initpart::initial_partition;
+use crate::initpart::initial_partition_traced;
 use crate::refine::fm::BalanceTargets;
-use crate::refine::{refine_level, BisectState};
+use crate::refine::{refine_level_stats, BisectState};
 use mlgp_graph::rng::seeded;
 use mlgp_graph::{CsrGraph, Wgt};
+use mlgp_trace::{Event, Trace, SPAN_COARSEN, SPAN_INIT, SPAN_PROJECT, SPAN_REFINE};
 use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each phase of a multilevel run (accumulated
@@ -64,14 +65,111 @@ pub struct BisectionResult {
 
 /// Bisect into two halves of (near-)equal vertex weight.
 pub fn bisect(g: &CsrGraph, cfg: &MlConfig) -> BisectionResult {
+    bisect_traced(g, cfg, &Trace::disabled())
+}
+
+/// [`bisect`] with telemetry: phase spans (same measured durations as the
+/// returned [`PhaseTimes`]), one `coarsen_level` event per hierarchy level
+/// and one `refine_level` event per uncoarsening level.
+pub fn bisect_traced(g: &CsrGraph, cfg: &MlConfig, trace: &Trace) -> BisectionResult {
     let total = g.total_vwgt();
     let half = total / 2;
-    bisect_targets(g, cfg, [half, total - half])
+    bisect_targets_traced(g, cfg, [half, total - half], trace)
 }
 
 /// Bisect with explicit per-side weight targets (used by recursive k-way
 /// for non-power-of-two part counts).
 pub fn bisect_targets(g: &CsrGraph, cfg: &MlConfig, target: [Wgt; 2]) -> BisectionResult {
+    bisect_targets_traced(g, cfg, target, &Trace::disabled())
+}
+
+/// [`bisect_targets`] with telemetry.
+pub fn bisect_targets_traced(
+    g: &CsrGraph,
+    cfg: &MlConfig,
+    target: [Wgt; 2],
+    trace: &Trace,
+) -> BisectionResult {
+    bisect_targets_branch(g, cfg, target, trace, 1)
+}
+
+/// Record one `coarsen_level` event per level of `h` under recursion
+/// branch `branch`.
+fn record_coarsen_levels(h: &Hierarchy, cfg: &MlConfig, trace: &Trace, branch: u64) {
+    if !trace.is_enabled() {
+        return;
+    }
+    // W(E_{i+1}) = W(E_i) − W(M_i): the contracted weight is the edge
+    // weight the hierarchy has absorbed into multinodes so far.
+    let w0 = h.graphs[0].total_adjwgt();
+    for (i, lvl) in h.graphs.iter().enumerate() {
+        let edge_wgt = lvl.total_adjwgt();
+        // Every coarse vertex of level i+1 merges either a matched pair or
+        // a single unmatched vertex, so pairs = n_i − n_{i+1}.
+        let matched_fraction = if i + 1 < h.levels() && lvl.n() > 0 {
+            let pairs = lvl.n() - h.graphs[i + 1].n();
+            (2 * pairs) as f64 / lvl.n() as f64
+        } else {
+            0.0
+        };
+        trace.record(|| Event::CoarsenLevel {
+            branch,
+            level: i,
+            vertices: lvl.n(),
+            edges: lvl.m(),
+            total_vwgt: lvl.total_vwgt(),
+            edge_wgt,
+            contracted_wgt: w0 - edge_wgt,
+            matched_fraction,
+            scheme: cfg.matching.abbrev(),
+        });
+    }
+}
+
+/// Run refinement on one level and record its `refine_level` event plus the
+/// workspace-wide FM counters.
+fn refine_level_recorded(
+    state: &mut BisectState<'_>,
+    bt: &BalanceTargets,
+    cfg: &MlConfig,
+    orig_n: usize,
+    trace: &Trace,
+    branch: u64,
+    level: usize,
+) {
+    let cut_before = state.cut;
+    let stats = refine_level_stats(state, bt, cfg.refinement, cfg, orig_n);
+    if trace.is_enabled() {
+        trace.count("fm_passes", stats.passes as u64);
+        trace.count("fm_moves", stats.moves as u64);
+        trace.count("fm_rollbacks", stats.rollbacks as u64);
+        trace.count("early_exit_triggers", stats.early_exit_triggers as u64);
+        trace.record(|| Event::RefineLevel {
+            branch,
+            level,
+            vertices: state.graph().n(),
+            boundary: state.boundary_count(),
+            passes: stats.passes,
+            moves: stats.moves,
+            rollbacks: stats.rollbacks,
+            early_exit_triggers: stats.early_exit_triggers,
+            cut_before,
+            cut_after: state.cut,
+            policy: cfg.refinement.abbrev(),
+        });
+    }
+}
+
+/// The traced bisection worker. `branch` identifies the recursion path when
+/// called from k-way (1 for a stand-alone bisection); it salts the emitted
+/// events so per-level records from different subproblems stay separable.
+pub(crate) fn bisect_targets_branch(
+    g: &CsrGraph,
+    cfg: &MlConfig,
+    target: [Wgt; 2],
+    trace: &Trace,
+    branch: u64,
+) -> BisectionResult {
     assert_eq!(
         target[0] + target[1],
         g.total_vwgt(),
@@ -91,31 +189,49 @@ pub fn bisect_targets(g: &CsrGraph, cfg: &MlConfig, target: [Wgt; 2]) -> Bisecti
     let bt = BalanceTargets::new(target, cfg.imbalance);
     let mut times = PhaseTimes::default();
 
-    // Coarsening phase.
+    // Coarsening phase. The span durations fed to the trace are the very
+    // same measurements stored in `PhaseTimes`, so the `--stats` tree and
+    // the returned CTime/UTime split agree exactly.
     let t = Instant::now();
     let h = coarsen(g, cfg, &mut rng);
     times.coarsen = t.elapsed();
+    trace.add_time(SPAN_COARSEN, times.coarsen);
+    record_coarsen_levels(&h, cfg, trace, branch);
 
     // Initial partitioning of the coarsest graph.
     let t = Instant::now();
-    let coarse_part = initial_partition(h.coarsest(), &bt, cfg.initial, cfg.trials(), &mut rng);
+    let coarse_part = initial_partition_traced(
+        h.coarsest(),
+        &bt,
+        cfg.initial,
+        cfg.trials(),
+        &mut rng,
+        trace,
+    );
     times.init = t.elapsed();
+    trace.add_time(SPAN_INIT, times.init);
 
     // Refine the coarsest-level partition, then uncoarsen level by level.
     let t = Instant::now();
     let mut state = BisectState::new(h.coarsest(), coarse_part);
-    refine_level(&mut state, &bt, cfg.refinement, cfg, n);
-    times.refine += t.elapsed();
+    refine_level_recorded(&mut state, &bt, cfg, n, trace, branch, h.levels() - 1);
+    let d = t.elapsed();
+    times.refine += d;
+    trace.add_time(SPAN_REFINE, d);
     let mut part = std::mem::take(&mut state.part);
     drop(state);
     for level in (0..h.levels() - 1).rev() {
         let t = Instant::now();
         let fine_part = h.project(level, &part);
         let mut state = BisectState::new(&h.graphs[level], fine_part);
-        times.project += t.elapsed();
+        let d = t.elapsed();
+        times.project += d;
+        trace.add_time(SPAN_PROJECT, d);
         let t = Instant::now();
-        refine_level(&mut state, &bt, cfg.refinement, cfg, n);
-        times.refine += t.elapsed();
+        refine_level_recorded(&mut state, &bt, cfg, n, trace, branch, level);
+        let d = t.elapsed();
+        times.refine += d;
+        trace.add_time(SPAN_REFINE, d);
         part = std::mem::take(&mut state.part);
     }
     let final_state = BisectState::new(g, part);
@@ -241,5 +357,76 @@ mod tests {
             r.times.total(),
             r.times.coarsen + r.times.init + r.times.refine + r.times.project
         );
+    }
+
+    #[test]
+    fn trace_spans_match_phase_times_exactly() {
+        // The spans are fed the very same `Duration`s stored in
+        // `PhaseTimes`, so the CTime/UTime split must agree to the nanosecond.
+        let g = grid2d(40, 40);
+        let trace = Trace::enabled();
+        let r = bisect_traced(&g, &MlConfig::default(), &trace);
+        assert_eq!(trace.span_total(SPAN_COARSEN), Some(r.times.coarsen));
+        assert_eq!(trace.span_total(SPAN_INIT), Some(r.times.init));
+        assert_eq!(trace.span_total(SPAN_REFINE), Some(r.times.refine));
+        assert_eq!(trace.span_total(SPAN_PROJECT), Some(r.times.project));
+    }
+
+    #[test]
+    fn trace_records_one_event_per_hierarchy_level() {
+        let g = grid2d(40, 40);
+        let trace = Trace::enabled();
+        let r = bisect_traced(&g, &MlConfig::default(), &trace);
+        let events = trace.events();
+        let coarsen: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::CoarsenLevel { .. }))
+            .collect();
+        let refine: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::RefineLevel { .. }))
+            .collect();
+        assert_eq!(coarsen.len(), r.levels);
+        assert_eq!(refine.len(), r.levels);
+        // Level 0 describes the input graph; matched fractions are sane.
+        for e in &coarsen {
+            let Event::CoarsenLevel {
+                level,
+                vertices,
+                matched_fraction,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            if *level == 0 {
+                assert_eq!(*vertices, g.n());
+            }
+            assert!((0.0..=1.0).contains(matched_fraction));
+        }
+        // Refinement never worsens the cut at any level.
+        for e in &refine {
+            let Event::RefineLevel {
+                cut_before,
+                cut_after,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            assert!(cut_after <= cut_before);
+        }
+        // The finest level's cut-after equals the returned cut.
+        let Some(Event::RefineLevel {
+            level: 0,
+            cut_after,
+            ..
+        }) = events
+            .iter()
+            .rfind(|e| matches!(e, Event::RefineLevel { level: 0, .. }))
+        else {
+            panic!("no finest-level refine event");
+        };
+        assert_eq!(*cut_after, r.cut as i64);
     }
 }

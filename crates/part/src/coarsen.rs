@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn small_graph_is_left_alone() {
         let g = grid2d(5, 5);
-        let h = coarsen(&g, &cfg_with(MatchingScheme::HeavyEdge, 100), &mut seeded(4));
+        let h = coarsen(
+            &g,
+            &cfg_with(MatchingScheme::HeavyEdge, 100),
+            &mut seeded(4),
+        );
         assert_eq!(h.levels(), 1);
         assert!(h.cmaps.is_empty());
     }
@@ -142,7 +146,11 @@ mod tests {
     #[test]
     fn powerlaw_graph_coarsens() {
         let g = powerlaw(3000, 3, 7);
-        let h = coarsen(&g, &cfg_with(MatchingScheme::HeavyEdge, 100), &mut seeded(5));
+        let h = coarsen(
+            &g,
+            &cfg_with(MatchingScheme::HeavyEdge, 100),
+            &mut seeded(5),
+        );
         assert!(h.coarsest().n() < 3000);
         for lvl in &h.graphs {
             assert!(lvl.validate().is_ok());

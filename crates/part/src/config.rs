@@ -138,6 +138,12 @@ pub struct MlConfig {
     pub min_coarsen_shrink: f64,
     /// KL early-exit parameter `x`: abort a pass after this many
     /// consecutive non-improving moves (paper: 50).
+    ///
+    /// This is the canonical name for the knob. Historically the FM code
+    /// referred to it variously as `early_exit` and the "bad move" counter;
+    /// all telemetry now reports pass aborts caused by it under the single
+    /// counter name `early_exit_triggers` (see `RefineStats` and the
+    /// `refine_level` trace events).
     pub early_exit_moves: usize,
     /// Allowed imbalance: each side may weigh up to `imbalance ×` its
     /// target.
@@ -184,7 +190,9 @@ impl MlConfig {
     pub fn reseed(&self, salt: u64) -> Self {
         let mut c = *self;
         // SplitMix64 step keeps the derived streams independent.
-        let mut z = self.seed.wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         c.seed = z ^ (z >> 31);

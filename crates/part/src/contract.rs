@@ -101,7 +101,10 @@ mod tests {
     fn contract_square_pairwise() {
         // Square 0-1-2-3-0; match (0,1) and (2,3).
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         let g = b.build();
         let cmap = vec![0, 0, 1, 1];
         let c = contract(&g, &cmap, 2, &[0; 4]);

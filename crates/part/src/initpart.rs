@@ -10,6 +10,7 @@ use crate::metrics::edge_cut_bisection;
 use crate::refine::fm::BalanceTargets;
 use crate::refine::GainQueue;
 use mlgp_graph::{CsrGraph, Vid, Wgt};
+use mlgp_trace::Trace;
 use rand::{Rng, RngExt};
 use std::collections::VecDeque;
 
@@ -24,6 +25,19 @@ pub fn initial_partition<R: Rng>(
     trials: usize,
     rng: &mut R,
 ) -> Vec<u8> {
+    initial_partition_traced(g, bt, scheme, trials, rng, &Trace::disabled())
+}
+
+/// [`initial_partition`] with telemetry: the spectral scheme records an
+/// `eigen` event per Fiedler solve.
+pub fn initial_partition_traced<R: Rng>(
+    g: &CsrGraph,
+    bt: &BalanceTargets,
+    scheme: InitialPartitioning,
+    trials: usize,
+    rng: &mut R,
+    trace: &Trace,
+) -> Vec<u8> {
     let n = g.n();
     if n == 0 {
         return Vec::new();
@@ -34,7 +48,7 @@ pub fn initial_partition<R: Rng>(
     match scheme {
         InitialPartitioning::GraphGrowing => best_of(g, bt, trials, rng, grow_bfs),
         InitialPartitioning::GreedyGraphGrowing => best_of(g, bt, trials, rng, grow_greedy),
-        InitialPartitioning::Spectral => spectral_split(g, bt),
+        InitialPartitioning::Spectral => spectral_split(g, bt, trace),
     }
 }
 
@@ -131,20 +145,17 @@ fn grow_greedy(g: &CsrGraph, bt: &BalanceTargets, start: Vid) -> Vec<u8> {
     // must not be offered again (prevents a reseed livelock).
     let mut banned = vec![false; n];
     let key = |g: &CsrGraph, conn: &[Wgt], u: Vid| 2 * conn[u as usize] - g.weighted_degree(u);
-    let absorb = |v: Vid,
-                      part: &mut Vec<u8>,
-                      conn: &mut Vec<Wgt>,
-                      queue: &mut GainQueue,
-                      w0: &mut Wgt| {
-        part[v as usize] = 0;
-        *w0 += g.vwgt()[v as usize];
-        for (u, w) in g.adj(v) {
-            if part[u as usize] == 1 {
-                conn[u as usize] += w;
-                queue.push(u, key(g, conn, u));
+    let absorb =
+        |v: Vid, part: &mut Vec<u8>, conn: &mut Vec<Wgt>, queue: &mut GainQueue, w0: &mut Wgt| {
+            part[v as usize] = 0;
+            *w0 += g.vwgt()[v as usize];
+            for (u, w) in g.adj(v) {
+                if part[u as usize] == 1 {
+                    conn[u as usize] += w;
+                    queue.push(u, key(g, conn, u));
+                }
             }
-        }
-    };
+        };
     absorb(start, &mut part, &mut conn, &mut queue, &mut w0);
     while w0 < bt.target[0] {
         let popped = queue.pop_valid(|u, k| {
@@ -175,8 +186,8 @@ fn grow_greedy(g: &CsrGraph, bt: &BalanceTargets, start: Vid) -> Vec<u8> {
 }
 
 /// Spectral bisection: split at the weighted median of the Fiedler vector.
-fn spectral_split(g: &CsrGraph, bt: &BalanceTargets) -> Vec<u8> {
-    let (_, fiedler) = mlgp_linalg::fiedler_vector(g, 0x5bec);
+fn spectral_split(g: &CsrGraph, bt: &BalanceTargets, trace: &Trace) -> Vec<u8> {
+    let (_, fiedler) = mlgp_linalg::fiedler_vector_traced(g, 0x5bec, trace);
     split_by_values(g, &fiedler, bt)
 }
 
@@ -249,12 +260,22 @@ mod tests {
             let mut rng = seeded(seed);
             let ggp = initial_partition(&g, &bt, InitialPartitioning::GraphGrowing, 10, &mut rng);
             let mut rng = seeded(seed);
-            let gggp =
-                initial_partition(&g, &bt, InitialPartitioning::GreedyGraphGrowing, 5, &mut rng);
+            let gggp = initial_partition(
+                &g,
+                &bt,
+                InitialPartitioning::GreedyGraphGrowing,
+                5,
+                &mut rng,
+            );
             total[0] += edge_cut_bisection(&g, &ggp);
             total[1] += edge_cut_bisection(&g, &gggp);
         }
-        assert!(total[1] <= total[0], "GGGP {} vs GGP {}", total[1], total[0]);
+        assert!(
+            total[1] <= total[0],
+            "GGGP {} vs GGP {}",
+            total[1],
+            total[0]
+        );
     }
 
     #[test]
@@ -262,7 +283,7 @@ mod tests {
         // Grid 20x10: spectral should cut close to the short dimension (10).
         let g = grid2d(20, 10);
         let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
-        let part = spectral_split(&g, &bt);
+        let part = spectral_split(&g, &bt, &Trace::disabled());
         let cut = edge_cut_bisection(&g, &part);
         assert!(cut <= 14, "spectral cut {cut}");
     }
@@ -273,8 +294,7 @@ mod tests {
         let bt = BalanceTargets::new([25, 75], 1.05);
         let mut rng = seeded(7);
         for scheme in InitialPartitioning::all() {
-            let part =
-                initial_partition(&g, &bt, scheme, scheme.default_trials(), &mut rng);
+            let part = initial_partition(&g, &bt, scheme, scheme.default_trials(), &mut rng);
             let pw = part_weights(&g, &part);
             assert!(
                 (25..=27).contains(&pw[0]),

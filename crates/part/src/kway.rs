@@ -6,10 +6,11 @@
 //! composed. Non-power-of-two `k` is handled by splitting weight targets
 //! proportionally (`⌈k/2⌉ : ⌊k/2⌋`).
 
-use crate::bisect::{bisect_targets, BisectionResult, PhaseTimes};
+use crate::bisect::{bisect_targets_branch, BisectionResult, PhaseTimes};
 use crate::config::MlConfig;
 use crate::metrics::edge_cut_kway;
 use mlgp_graph::{split_by_part, CsrGraph, Wgt};
+use mlgp_trace::Trace;
 
 /// Result of a k-way partitioning.
 #[derive(Clone, Debug)]
@@ -30,9 +31,17 @@ const PARALLEL_THRESHOLD: usize = 4096;
 
 /// Partition `g` into `k` parts of near-equal vertex weight.
 pub fn kway_partition(g: &CsrGraph, k: usize, cfg: &MlConfig) -> KwayResult {
+    kway_partition_traced(g, k, cfg, &Trace::disabled())
+}
+
+/// [`kway_partition`] with telemetry: every bisection in the recursion tree
+/// records its phase spans and per-level events, salted with its recursion
+/// path (the `branch` field) so the levels of different subproblems remain
+/// separable. The trace handle crosses the rayon forks.
+pub fn kway_partition_traced(g: &CsrGraph, k: usize, cfg: &MlConfig, trace: &Trace) -> KwayResult {
     assert!(k >= 1, "k must be at least 1");
     let mut part = vec![0u32; g.n()];
-    let times = rec(g, k, cfg, 1, &mut part);
+    let times = rec(g, k, cfg, 1, &mut part, trace);
     let edge_cut = edge_cut_kway(g, &part);
     KwayResult {
         part,
@@ -45,7 +54,14 @@ pub fn kway_partition(g: &CsrGraph, k: usize, cfg: &MlConfig) -> KwayResult {
 /// Recursive worker: writes labels `0..k` into `part` (parallel to `g`'s
 /// vertices). `salt` identifies the recursion path for deterministic
 /// re-seeding.
-fn rec(g: &CsrGraph, k: usize, cfg: &MlConfig, salt: u64, part: &mut [u32]) -> PhaseTimes {
+fn rec(
+    g: &CsrGraph,
+    k: usize,
+    cfg: &MlConfig,
+    salt: u64,
+    part: &mut [u32],
+    trace: &Trace,
+) -> PhaseTimes {
     if k <= 1 || g.n() == 0 {
         for p in part.iter_mut() {
             *p = 0;
@@ -57,7 +73,8 @@ fn rec(g: &CsrGraph, k: usize, cfg: &MlConfig, salt: u64, part: &mut [u32]) -> P
     let total = g.total_vwgt();
     // Proportional target: side 0 receives k0/k of the weight.
     let t0 = ((total as i128 * k0 as i128) / k as i128) as Wgt;
-    let r: BisectionResult = bisect_targets(g, &cfg.reseed(salt), [t0, total - t0]);
+    let r: BisectionResult =
+        bisect_targets_branch(g, &cfg.reseed(salt), [t0, total - t0], trace, salt);
     if k == 2 {
         for (p, &side) in part.iter_mut().zip(&r.part) {
             *p = side as u32;
@@ -71,13 +88,13 @@ fn rec(g: &CsrGraph, k: usize, cfg: &MlConfig, salt: u64, part: &mut [u32]) -> P
     let mut part1 = vec![0u32; s1.graph.n()];
     let (times0, times1) = if g.n() >= PARALLEL_THRESHOLD {
         rayon::join(
-            || rec(&s0.graph, k0, cfg, salt * 2, &mut part0),
-            || rec(&s1.graph, k1, cfg, salt * 2 + 1, &mut part1),
+            || rec(&s0.graph, k0, cfg, salt * 2, &mut part0, trace),
+            || rec(&s1.graph, k1, cfg, salt * 2 + 1, &mut part1, trace),
         )
     } else {
         (
-            rec(&s0.graph, k0, cfg, salt * 2, &mut part0),
-            rec(&s1.graph, k1, cfg, salt * 2 + 1, &mut part1),
+            rec(&s0.graph, k0, cfg, salt * 2, &mut part0, trace),
+            rec(&s1.graph, k1, cfg, salt * 2 + 1, &mut part1, trace),
         )
     };
     for (i, &orig) in s0.orig.iter().enumerate() {
@@ -161,7 +178,11 @@ mod tests {
         // Every part non-empty and labels within range.
         let w = part_weights(&g, &r.part, 4);
         assert!(w.iter().all(|&x| x > 0), "{w:?}");
-        assert!(imbalance(&g, &r.part, 4) < 1.10, "{}", imbalance(&g, &r.part, 4));
+        assert!(
+            imbalance(&g, &r.part, 4) < 1.10,
+            "{}",
+            imbalance(&g, &r.part, 4)
+        );
         // Optimal 4-way of a 24x24 grid is 48; stay in range.
         assert!(r.edge_cut >= 48 && r.edge_cut <= 96, "cut {}", r.edge_cut);
     }

@@ -9,10 +9,11 @@
 
 use crate::bisect::PhaseTimes;
 use crate::config::MlConfig;
-use crate::kway::{kway_partition, KwayResult};
+use crate::kway::{kway_partition_traced, KwayResult};
 use crate::metrics::edge_cut_kway;
 use mlgp_graph::rng::{random_order, seeded};
 use mlgp_graph::{CsrGraph, Vid, Wgt};
+use mlgp_trace::{Event, Trace, SPAN_REFINE};
 
 /// Options for the k-way sweep.
 #[derive(Clone, Copy, Debug)]
@@ -43,11 +44,30 @@ pub fn kway_refine_greedy(
     k: usize,
     opts: &KwayRefineOptions,
 ) -> Wgt {
+    kway_refine_greedy_traced(g, part, k, opts, &Trace::disabled())
+}
+
+/// [`kway_refine_greedy`] with telemetry: records one `kway_sweep` event
+/// summarizing the sweep (passes, moves, cut before/after).
+pub fn kway_refine_greedy_traced(
+    g: &CsrGraph,
+    part: &mut [u32],
+    k: usize,
+    opts: &KwayRefineOptions,
+    trace: &Trace,
+) -> Wgt {
     assert_eq!(part.len(), g.n());
     let n = g.n();
     if k <= 1 || n == 0 {
         return 0;
     }
+    let cut_before = if trace.is_enabled() {
+        edge_cut_kway(g, part)
+    } else {
+        0
+    };
+    let mut total_moves = 0usize;
+    let mut passes = 0usize;
     let mut pwgts = vec![0 as Wgt; k];
     for v in 0..n {
         pwgts[part[v] as usize] += g.vwgt()[v];
@@ -61,6 +81,7 @@ pub fn kway_refine_greedy(
     let mut conn = vec![0 as Wgt; k];
     let mut touched: Vec<u32> = Vec::with_capacity(16);
     for _pass in 0..opts.max_passes.max(1) {
+        passes += 1;
         let order = random_order(&mut rng, n);
         let mut moves = 0usize;
         for &v in &order {
@@ -92,9 +113,10 @@ pub fn kway_refine_greedy(
                     let gain = conn[t] - here;
                     let key = (gain, -pwgts[t]);
                     if (gain > 0 || (gain == 0 && pwgts[t] + vw < pwgts[home]))
-                        && best.is_none_or(|(bg, bw, _)| key > (bg, bw)) {
-                            best = Some((gain, -pwgts[t], t));
-                        }
+                        && best.is_none_or(|(bg, bw, _)| key > (bg, bw))
+                    {
+                        best = Some((gain, -pwgts[t], t));
+                    }
                 }
                 if let Some((_, _, to)) = best {
                     pwgts[home] -= vw;
@@ -107,25 +129,46 @@ pub fn kway_refine_greedy(
                 conn[t as usize] = 0;
             }
         }
+        total_moves += moves;
         if moves == 0 {
             break;
         }
     }
-    edge_cut_kway(g, part)
+    let cut_after = edge_cut_kway(g, part);
+    trace.record(|| Event::KwaySweep {
+        passes,
+        moves: total_moves,
+        cut_before,
+        cut_after,
+    });
+    cut_after
 }
 
 /// [`kway_partition`] followed by the greedy k-way sweep.
 pub fn kway_partition_refined(g: &CsrGraph, k: usize, cfg: &MlConfig) -> KwayResult {
-    let mut r = kway_partition(g, k, cfg);
+    kway_partition_refined_traced(g, k, cfg, &Trace::disabled())
+}
+
+/// [`kway_partition_refined`] with telemetry over both the recursive
+/// bisections and the final k-way sweep.
+pub fn kway_partition_refined_traced(
+    g: &CsrGraph,
+    k: usize,
+    cfg: &MlConfig,
+    trace: &Trace,
+) -> KwayResult {
+    let mut r = kway_partition_traced(g, k, cfg, trace);
     let opts = KwayRefineOptions {
         imbalance: cfg.imbalance,
         seed: cfg.seed ^ 0x5eed,
         ..KwayRefineOptions::default()
     };
     let t = std::time::Instant::now();
-    r.edge_cut = kway_refine_greedy(g, &mut r.part, k, &opts);
+    r.edge_cut = kway_refine_greedy_traced(g, &mut r.part, k, &opts, trace);
+    let d = t.elapsed();
+    trace.add_time(SPAN_REFINE, d);
     r.times = r.times.merge(&PhaseTimes {
-        refine: t.elapsed(),
+        refine: d,
         ..PhaseTimes::default()
     });
     r
@@ -146,6 +189,7 @@ pub fn kway_boundary(g: &CsrGraph, part: &[u32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kway::kway_partition;
     use crate::metrics::imbalance;
     use mlgp_graph::generators::{grid2d, tet_mesh3d, tri_mesh2d};
 
@@ -157,7 +201,11 @@ mod tests {
             let before_imb = imbalance(&g, &base.part, k);
             let mut part = base.part.clone();
             let refined = kway_refine_greedy(&g, &mut part, k, &KwayRefineOptions::default());
-            assert!(refined <= base.edge_cut, "k={k}: {refined} > {}", base.edge_cut);
+            assert!(
+                refined <= base.edge_cut,
+                "k={k}: {refined} > {}",
+                base.edge_cut
+            );
             // The sweep never worsens balance beyond its bound or the input.
             let after_imb = imbalance(&g, &part, k);
             assert!(after_imb <= before_imb.max(1.05), "k={k}: {after_imb}");
@@ -190,7 +238,10 @@ mod tests {
         );
         assert!(damaged > good.edge_cut, "perturbation did nothing");
         let recovered = (damaged - repaired) as f64 / (damaged - good.edge_cut) as f64;
-        assert!(recovered > 0.5, "only recovered {recovered:.2} of the damage");
+        assert!(
+            recovered > 0.5,
+            "only recovered {recovered:.2} of the damage"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
 
     fn square() -> CsrGraph {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         b.build()
     }
 

@@ -47,14 +47,63 @@ impl BalanceTargets {
     }
 }
 
+/// Statistics of a single KL/FM pass (see [`fm_pass_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassStats {
+    /// Whether the pass improved the cut or repaired the balance.
+    pub improved: bool,
+    /// Moves kept after rolling back to the best prefix.
+    pub moves: usize,
+    /// Moves undone by the rollback.
+    pub rollbacks: usize,
+    /// Whether the pass ended via the `early_exit_moves` counter (as
+    /// opposed to exhausting all movable vertices).
+    pub early_exit: bool,
+}
+
+/// Aggregated refinement statistics for one uncoarsening level (summed
+/// over the passes [`refine_level_stats`] executes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefineStats {
+    /// KL/FM passes executed.
+    pub passes: usize,
+    /// Total committed moves.
+    pub moves: usize,
+    /// Total rolled-back moves.
+    pub rollbacks: usize,
+    /// Passes that ended through the early-exit counter. Reported in
+    /// traces as the `early_exit_triggers` counter (the canonical name —
+    /// see `MlConfig::early_exit_moves`).
+    pub early_exit_triggers: usize,
+}
+
+impl RefineStats {
+    fn absorb(&mut self, p: PassStats) {
+        self.passes += 1;
+        self.moves += p.moves;
+        self.rollbacks += p.rollbacks;
+        self.early_exit_triggers += p.early_exit as usize;
+    }
+}
+
 /// One KL/FM pass. Returns `true` if the pass improved the cut or repaired
 /// the balance.
 pub fn fm_pass(
     state: &mut BisectState<'_>,
     bt: &BalanceTargets,
     boundary_only: bool,
-    early_exit: usize,
+    early_exit_moves: usize,
 ) -> bool {
+    fm_pass_stats(state, bt, boundary_only, early_exit_moves).improved
+}
+
+/// [`fm_pass`] with full per-pass statistics.
+pub fn fm_pass_stats(
+    state: &mut BisectState<'_>,
+    bt: &BalanceTargets,
+    boundary_only: bool,
+    early_exit_moves: usize,
+) -> PassStats {
     let g = state.graph();
     let n = g.n();
     let start_cut = state.cut;
@@ -72,11 +121,16 @@ pub fn fm_pass(
     let mut best = (start_balanced, start_cut);
     let mut best_len = 0usize;
     let mut bad = 0usize;
+    let mut exited_early = false;
     loop {
         // Prefer to drain the side with the larger excess over its target.
         let excess0 = state.pwgts[0] - bt.target[0];
         let excess1 = state.pwgts[1] - bt.target[1];
-        let order = if excess0 >= excess1 { [0usize, 1] } else { [1, 0] };
+        let order = if excess0 >= excess1 {
+            [0usize, 1]
+        } else {
+            [1, 0]
+        };
         let mut picked: Option<Vid> = None;
         'pick: for &side in &order {
             loop {
@@ -107,15 +161,15 @@ pub fn fm_pass(
             }
         }
         let now_balanced = bt.balanced(state.pwgts);
-        let better = (now_balanced && !best.0)
-            || (now_balanced == best.0 && state.cut < best.1);
+        let better = (now_balanced && !best.0) || (now_balanced == best.0 && state.cut < best.1);
         if better {
             best = (now_balanced, state.cut);
             best_len = log.len();
             bad = 0;
         } else {
             bad += 1;
-            if bad >= early_exit {
+            if bad >= early_exit_moves {
+                exited_early = true;
                 break;
             }
         }
@@ -125,7 +179,12 @@ pub fn fm_pass(
         state.move_vertex(v);
     }
     debug_assert_eq!(state.cut, best.1);
-    best.1 < start_cut || (best.0 && !start_balanced)
+    PassStats {
+        improved: best.1 < start_cut || (best.0 && !start_balanced),
+        moves: best_len,
+        rollbacks: log.len() - best_len,
+        early_exit: exited_early,
+    }
 }
 
 /// Cap on KLR/BKLR passes; convergence almost always happens far sooner,
@@ -144,42 +203,63 @@ pub fn refine_level(
     cfg: &MlConfig,
     orig_n: usize,
 ) {
-    let x = cfg.early_exit_moves.max(1);
-    match policy {
-        RefinementPolicy::None => {}
-        RefinementPolicy::Greedy => {
-            fm_pass(state, bt, false, x);
-        }
-        RefinementPolicy::KernighanLin => {
-            for _ in 0..MAX_PASSES {
-                if !fm_pass(state, bt, false, x) {
-                    break;
-                }
-            }
-        }
-        RefinementPolicy::BoundaryGreedy => {
-            fm_pass(state, bt, true, x);
-        }
-        RefinementPolicy::BoundaryKernighanLin => {
-            for _ in 0..MAX_PASSES {
-                if !fm_pass(state, bt, true, x) {
-                    break;
-                }
-            }
-        }
-        RefinementPolicy::BoundaryKlGreedyHybrid => {
-            let threshold = (cfg.hybrid_boundary_frac * orig_n as f64) as usize;
-            if state.boundary_count() < threshold.max(1) {
-                for _ in 0..MAX_PASSES {
-                    if !fm_pass(state, bt, true, x) {
-                        break;
-                    }
-                }
-            } else {
-                fm_pass(state, bt, true, x);
+    refine_level_stats(state, bt, policy, cfg, orig_n);
+}
+
+/// [`refine_level`] with aggregated pass statistics for telemetry.
+pub fn refine_level_stats(
+    state: &mut BisectState<'_>,
+    bt: &BalanceTargets,
+    policy: RefinementPolicy,
+    cfg: &MlConfig,
+    orig_n: usize,
+) -> RefineStats {
+    fn once(
+        state: &mut BisectState<'_>,
+        bt: &BalanceTargets,
+        stats: &mut RefineStats,
+        boundary: bool,
+        x: usize,
+    ) -> bool {
+        let p = fm_pass_stats(state, bt, boundary, x);
+        stats.absorb(p);
+        p.improved
+    }
+    fn converge(
+        state: &mut BisectState<'_>,
+        bt: &BalanceTargets,
+        stats: &mut RefineStats,
+        boundary: bool,
+        x: usize,
+    ) {
+        for _ in 0..MAX_PASSES {
+            if !once(state, bt, stats, boundary, x) {
+                break;
             }
         }
     }
+    let x = cfg.early_exit_moves.max(1);
+    let mut stats = RefineStats::default();
+    match policy {
+        RefinementPolicy::None => {}
+        RefinementPolicy::Greedy => {
+            once(state, bt, &mut stats, false, x);
+        }
+        RefinementPolicy::KernighanLin => converge(state, bt, &mut stats, false, x),
+        RefinementPolicy::BoundaryGreedy => {
+            once(state, bt, &mut stats, true, x);
+        }
+        RefinementPolicy::BoundaryKernighanLin => converge(state, bt, &mut stats, true, x),
+        RefinementPolicy::BoundaryKlGreedyHybrid => {
+            let threshold = (cfg.hybrid_boundary_frac * orig_n as f64) as usize;
+            if state.boundary_count() < threshold.max(1) {
+                converge(state, bt, &mut stats, true, x);
+            } else {
+                once(state, bt, &mut stats, true, x);
+            }
+        }
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -304,7 +384,11 @@ mod tests {
         let cfg = MlConfig::default();
         for policy in RefinementPolicy::evaluated() {
             refine_level(&mut s, &bt, policy, &cfg, 40);
-            assert!(bt.balanced(s.pwgts), "{policy:?} violated balance: {:?}", s.pwgts);
+            assert!(
+                bt.balanced(s.pwgts),
+                "{policy:?} violated balance: {:?}",
+                s.pwgts
+            );
         }
     }
 }

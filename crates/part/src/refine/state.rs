@@ -48,7 +48,14 @@ impl<'g> BisectState<'g> {
                 }
             }
         }
-        Self { g, part, pwgts, ed, id, cut }
+        Self {
+            g,
+            part,
+            pwgts,
+            ed,
+            id,
+            cut,
+        }
     }
 
     /// The underlying graph.
@@ -71,7 +78,9 @@ impl<'g> BisectState<'g> {
 
     /// Number of boundary vertices.
     pub fn boundary_count(&self) -> usize {
-        (0..self.g.n() as Vid).filter(|&v| self.is_boundary(v)).count()
+        (0..self.g.n() as Vid)
+            .filter(|&v| self.is_boundary(v))
+            .count()
     }
 
     /// Move `v` to the other side, updating partition, weights, degrees and
@@ -119,7 +128,10 @@ mod tests {
     #[test]
     fn initial_state_of_square() {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         let g = b.build();
         let s = BisectState::new(&g, vec![0, 0, 1, 1]);
         assert_eq!(s.cut, 2);
@@ -134,7 +146,10 @@ mod tests {
     #[test]
     fn move_updates_everything() {
         let mut b = GraphBuilder::new(4);
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
         let g = b.build();
         let mut s = BisectState::new(&g, vec![0, 0, 1, 1]);
         s.move_vertex(1);

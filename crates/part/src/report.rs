@@ -46,6 +46,22 @@ impl PartitionReport {
             fragments: fragmentation(g, part, nparts),
         }
     }
+
+    /// Serialize the report as a single JSON object (hand-rolled; the
+    /// workspace carries no serde). Field names match the struct fields.
+    pub fn to_json(&self) -> String {
+        let mut o = mlgp_trace::json::JsonObj::new();
+        o.field_usize("nparts", self.nparts);
+        o.field_i64("edge_cut", self.edge_cut);
+        o.field_usize("comm_volume", self.comm_volume);
+        o.field_usize("boundary", self.boundary);
+        o.field_f64("imbalance", self.imbalance);
+        o.field_i64("min_part", self.min_part);
+        o.field_i64("max_part", self.max_part);
+        o.field_usize("empty_parts", self.empty_parts);
+        o.field_usize("fragments", self.fragments);
+        o.finish()
+    }
 }
 
 impl std::fmt::Display for PartitionReport {
@@ -92,6 +108,11 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("edge-cut:     8"));
         assert!(!text.contains("empty"));
+        // JSON form round-trips through the trace-layer parser.
+        let v = mlgp_trace::json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("edge_cut").and_then(|x| x.as_f64()), Some(8.0));
+        assert_eq!(v.get("nparts").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(v.get("boundary").and_then(|x| x.as_f64()), Some(16.0));
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn random_graph(n: usize, extra: usize, seed: u64) -> CsrGraph {
     let mut rng = seeded(seed);
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.add_weighted_edge(v as u32, rng.random_range(0..v) as u32, 1 + rng.random_range(0..6));
+        b.add_weighted_edge(
+            v as u32,
+            rng.random_range(0..v) as u32,
+            1 + rng.random_range(0..6),
+        );
     }
     for _ in 0..extra {
         let u = rng.random_range(0..n) as u32;

@@ -50,7 +50,13 @@ pub fn chaco_ml_bisect_targets(g: &CsrGraph, cfg: &ChacoMlConfig, target: [Wgt; 
     let mut rng = mlgp_graph::rng::seeded(cfg.seed);
     let h = coarsen(g, &ml, &mut rng);
     // Spectral bisection of the coarsest graph.
-    let mut part = initial_partition(h.coarsest(), &bt, InitialPartitioning::Spectral, 1, &mut rng);
+    let mut part = initial_partition(
+        h.coarsest(),
+        &bt,
+        InitialPartitioning::Spectral,
+        1,
+        &mut rng,
+    );
     {
         let mut state = BisectState::new(h.coarsest(), part);
         refine_level(&mut state, &bt, RefinementPolicy::KernighanLin, &ml, n);

@@ -10,7 +10,9 @@
 //! final partition.
 
 use mlgp_graph::{CsrGraph, Wgt};
-use mlgp_linalg::{fiedler_dense, lanczos_fiedler_with_start, rqi_refine, LanczosOptions, Laplacian, RqiOptions};
+use mlgp_linalg::{
+    fiedler_dense, lanczos_fiedler_with_start, rqi_refine, LanczosOptions, Laplacian, RqiOptions,
+};
 use mlgp_part::initpart::split_by_values;
 use mlgp_part::kway::recursive_kway_with;
 use mlgp_part::refine::fm::BalanceTargets;
@@ -153,8 +155,8 @@ pub fn msb_kl_kway(g: &CsrGraph, k: usize, cfg: &MsbConfig) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlgp_part::metrics::{edge_cut_kway, imbalance, part_weights};
     use mlgp_graph::generators::{grid2d, tri_mesh2d};
+    use mlgp_part::metrics::{edge_cut_kway, imbalance, part_weights};
 
     #[test]
     fn msb_fiedler_close_to_true_on_medium_grid() {

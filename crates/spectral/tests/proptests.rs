@@ -4,8 +4,8 @@ use mlgp_graph::rng::seeded;
 use mlgp_graph::{CsrGraph, GraphBuilder};
 use mlgp_part::{edge_cut_bisection, edge_cut_kway, part_weights, BalanceTargets};
 use mlgp_spectral::{
-    chaco_ml_bisect_targets, chaco_ml_kway, msb_bisect_targets, msb_fiedler,
-    msb_kl_bisect_targets, ChacoMlConfig, MsbConfig,
+    chaco_ml_bisect_targets, chaco_ml_kway, msb_bisect_targets, msb_fiedler, msb_kl_bisect_targets,
+    ChacoMlConfig, MsbConfig,
 };
 use proptest::prelude::*;
 use rand::RngExt;

@@ -18,7 +18,10 @@ fn main() {
     let g = mlgp::graph::generators::stiffness3d(14, 14, 14);
     let n = g.n();
     let shift = 1.0;
-    println!("system: n = {n}, nnz(A) = {} (3D stiffness + I)\n", g.nnz() + n);
+    println!(
+        "system: n = {n}, nnz(A) = {} (3D stiffness + I)\n",
+        g.nnz() + n
+    );
     let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
     let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     println!(

@@ -6,8 +6,8 @@
 //! cargo run --release --example geometric_partition
 //! ```
 
-use mlgp::prelude::*;
 use mlgp::graph::generators as gen;
+use mlgp::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -15,8 +15,15 @@ fn main() {
     let g = gen::tri_mesh2d(nx, ny, 0x4e17);
     let pts = gen::tri_mesh2d_coords(nx, ny, 0x4e17);
     let k = 16;
-    println!("irregular 2D mesh: {} vertices, {} edges; k = {k}\n", g.n(), g.m());
-    println!("{:<18} {:>10} {:>10} {:>9}", "method", "edge-cut", "imbalance", "time(s)");
+    println!(
+        "irregular 2D mesh: {} vertices, {} edges; k = {k}\n",
+        g.n(),
+        g.m()
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>9}",
+        "method", "edge-cut", "imbalance", "time(s)"
+    );
     let show = |name: &str, part: Vec<u32>, secs: f64| {
         println!(
             "{name:<18} {:>10} {:>10.3} {:>9.4}",

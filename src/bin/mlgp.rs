@@ -2,11 +2,17 @@
 //! `onmetis` tools.
 //!
 //! ```text
-//! mlgp partition <graph> <k> [--report] [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
-//! mlgp order     <graph>     [--method mlnd|mmd|snd] [--out FILE]
+//! mlgp partition <graph> <k> [--report] [--report-json] [--stats] [--trace FILE]
+//!                            [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
+//! mlgp order     <graph>     [--method mlnd|mmd|snd] [--stats] [--trace FILE] [--out FILE]
 //! mlgp gen       <key> <out.graph> [--scale F]   # write a suite graph
 //! mlgp info      <graph>
 //! ```
+//!
+//! `--stats` prints the phase-tree summary (the paper's CTime/UTime
+//! vocabulary) to stderr; `--trace FILE` writes the full JSONL telemetry
+//! (one record per hierarchy level, eigensolver run, counter, and span —
+//! schema in DESIGN.md).
 //!
 //! `<graph>` is either a Chaco/METIS `.graph` file, a MatrixMarket `.mtx`
 //! file, or `gen:<KEY>[@SCALE]` for a synthetic suite graph (e.g.
@@ -44,13 +50,18 @@ const USAGE: &str = "\
 mlgp — multilevel graph partitioning (Karypis-Kumar ICPP'95 reproduction)
 
 USAGE:
-  mlgp partition <graph> <k> [--report] [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
-  mlgp order     <graph>     [--method mlnd|mmd|snd] [--out FILE]
+  mlgp partition <graph> <k> [--report] [--report-json] [--stats] [--trace FILE]
+                             [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
+  mlgp order     <graph>     [--method mlnd|mmd|snd] [--stats] [--trace FILE] [--out FILE]
   mlgp gen       <key> <out.graph> [--scale F]
   mlgp info      <graph>
 
 <graph> is a .graph/.mtx file or gen:<KEY>[@SCALE] (see `mlgp gen` keys in
 DESIGN.md, e.g. gen:4ELT, gen:BC31@0.1).
+
+--stats prints a phase-tree timing summary (CTime/UTime vocabulary) to
+stderr; --trace FILE writes JSONL telemetry; --report-json prints the
+partition quality report as one JSON object on stdout.
 ";
 
 /// Positional arguments and `(name, value)` option pairs.
@@ -91,10 +102,7 @@ fn opt<'a>(opts: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
 fn load_graph(spec: &str) -> Result<CsrGraph, String> {
     if let Some(genspec) = spec.strip_prefix("gen:") {
         let (key, scale) = match genspec.split_once('@') {
-            Some((k, s)) => (
-                k,
-                s.parse::<f64>().map_err(|_| format!("bad scale `{s}`"))?,
-            ),
+            Some((k, s)) => (k, s.parse::<f64>().map_err(|_| format!("bad scale `{s}`"))?),
             None => (genspec, 1.0),
         };
         let entry = generators::entry(key)
@@ -103,6 +111,43 @@ fn load_graph(spec: &str) -> Result<CsrGraph, String> {
     } else {
         mlgp_graph::io::read_graph_file(Path::new(spec)).map_err(|e| e.to_string())
     }
+}
+
+/// Build a trace handle: enabled iff `--stats` or `--trace FILE` was given.
+/// Records the shared metadata so exports are self-describing.
+fn make_trace(opts: &[(&str, &str)], g: &CsrGraph, spec: &str) -> Trace {
+    let wants_stats = opt(opts, "stats").is_some_and(|v| v != "false");
+    let wants_file = trace_path(opts).is_some();
+    if !wants_stats && !wants_file {
+        return Trace::disabled();
+    }
+    let trace = Trace::enabled();
+    trace.set_meta("graph", spec);
+    trace.set_meta("vertices", g.n());
+    trace.set_meta("edges", g.m());
+    trace
+}
+
+/// The `--trace FILE` value, treating a bare `--trace` as an error-free
+/// no-file request (boolean form enables collection without the export).
+fn trace_path<'a>(opts: &[(&'a str, &'a str)]) -> Option<&'a str> {
+    opt(opts, "trace").filter(|v| *v != "true" && *v != "false")
+}
+
+/// Emit the collected telemetry: tree summary to stderr (`--stats`), JSONL
+/// to the `--trace` file.
+fn emit_trace(trace: &Trace, opts: &[(&str, &str)]) -> Result<(), String> {
+    if opt(opts, "stats").is_some_and(|v| v != "false") {
+        if let Some(tree) = trace.summary_tree() {
+            eprint!("{tree}");
+        }
+    }
+    if let Some(path) = trace_path(opts) {
+        let jsonl = trace.to_jsonl().unwrap_or_default();
+        std::fs::write(path, jsonl).map_err(|e| format!("writing trace {path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_partition(args: &[String]) -> Result<(), String> {
@@ -126,16 +171,54 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         g.m(),
         g.avg_degree()
     );
+    let trace = make_trace(&opts, &g, spec);
+    trace.set_meta("command", "partition");
+    trace.set_meta("method", method);
+    trace.set_meta("k", k);
+    trace.set_meta("seed", seed);
     let t = Instant::now();
     let part: Vec<u32> = match method {
-        "ml" => kway_partition(&g, k, &MlConfig { seed, ..MlConfig::default() }).part,
-        "msb" => msb_kway(&g, k, &MsbConfig { seed, ..MsbConfig::default() }),
-        "msb-kl" => msb_kl_kway(&g, k, &MsbConfig { seed, ..MsbConfig::default() }),
-        "chaco" => chaco_ml_kway(&g, k, &ChacoMlConfig { seed, ..ChacoMlConfig::default() }),
+        "ml" => {
+            mlgp::part::kway_partition_traced(
+                &g,
+                k,
+                &MlConfig {
+                    seed,
+                    ..MlConfig::default()
+                },
+                &trace,
+            )
+            .part
+        }
+        "msb" => msb_kway(
+            &g,
+            k,
+            &MsbConfig {
+                seed,
+                ..MsbConfig::default()
+            },
+        ),
+        "msb-kl" => msb_kl_kway(
+            &g,
+            k,
+            &MsbConfig {
+                seed,
+                ..MsbConfig::default()
+            },
+        ),
+        "chaco" => chaco_ml_kway(
+            &g,
+            k,
+            &ChacoMlConfig {
+                seed,
+                ..ChacoMlConfig::default()
+            },
+        ),
         other => return Err(format!("unknown method `{other}` (ml|msb|msb-kl|chaco)")),
     };
     let elapsed = t.elapsed();
     let cut = edge_cut_kway(&g, &part);
+    trace.set_meta("edge_cut", cut);
     println!(
         "method={method} k={k} edge-cut={cut} imbalance={:.3} time={:.3}s",
         imbalance(&g, &part, k),
@@ -144,6 +227,13 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     if opt(&opts, "report").is_some_and(|v| v != "false") {
         println!("{}", mlgp_part::PartitionReport::new(&g, &part, k));
     }
+    if opt(&opts, "report-json").is_some_and(|v| v != "false") {
+        println!(
+            "{}",
+            mlgp_part::PartitionReport::new(&g, &part, k).to_json()
+        );
+    }
+    emit_trace(&trace, &opts)?;
     if let Some(out) = opt(&opts, "out") {
         let body: String = part.iter().map(|p| format!("{p}\n")).collect();
         std::fs::write(out, body).map_err(|e| e.to_string())?;
@@ -160,11 +250,14 @@ fn cmd_order(args: &[String]) -> Result<(), String> {
     let method = opt(&opts, "method").unwrap_or("mlnd");
     let g = load_graph(spec)?;
     eprintln!("graph: {} vertices, {} edges", g.n(), g.m());
+    let trace = make_trace(&opts, &g, spec);
+    trace.set_meta("command", "order");
+    trace.set_meta("method", method);
     let t = Instant::now();
     let perm = match method {
-        "mlnd" => mlnd_order(&g),
+        "mlnd" => mlgp::order::nested_dissection_traced(&g, &mlgp::order::NdConfig::mlnd(), &trace),
         "mmd" => mmd_order(&g),
-        "snd" => snd_order(&g),
+        "snd" => mlgp::order::nested_dissection_traced(&g, &mlgp::order::NdConfig::snd(), &trace),
         other => return Err(format!("unknown method `{other}` (mlnd|mmd|snd)")),
     };
     let elapsed = t.elapsed();
@@ -176,6 +269,7 @@ fn cmd_order(args: &[String]) -> Result<(), String> {
         stats.height,
         elapsed.as_secs_f64()
     );
+    emit_trace(&trace, &opts)?;
     if let Some(out) = opt(&opts, "out") {
         let body: String = perm.perm().iter().map(|p| format!("{p}\n")).collect();
         std::fs::write(out, body).map_err(|e| e.to_string())?;
@@ -193,8 +287,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad scale `{s}`")))
         .transpose()?
         .unwrap_or(1.0);
-    let entry =
-        generators::entry(key).ok_or_else(|| format!("unknown suite key `{key}`"))?;
+    let entry = generators::entry(key).ok_or_else(|| format!("unknown suite key `{key}`"))?;
     let g = entry.generate_scaled(scale);
     mlgp_graph::io::write_graph_file(&g, Path::new(out)).map_err(|e| e.to_string())?;
     println!(

@@ -13,7 +13,9 @@
 //! * [`geom`] — geometric baselines: RCB, inertial, randomized separators
 //!   ([`mlgp_geom`]);
 //! * [`order`] — MLND / SND / MMD fill-reducing orderings and symbolic
-//!   factorization analysis ([`mlgp_order`]).
+//!   factorization analysis ([`mlgp_order`]);
+//! * [`trace`] — the observability layer: phase spans, per-level telemetry,
+//!   counters, JSONL export ([`mlgp_trace`]).
 //!
 //! ## Quickstart
 //!
@@ -39,16 +41,18 @@ pub use mlgp_linalg as linalg;
 pub use mlgp_order as order;
 pub use mlgp_part as part;
 pub use mlgp_spectral as spectral;
+pub use mlgp_trace as trace;
 
 /// Convenient single-import surface for the common entry points.
 pub mod prelude {
+    pub use mlgp_geom::{inertial_partition, rcb_partition, sphere_kway, SphereConfig};
     pub use mlgp_graph::{CsrGraph, GraphBuilder, Permutation, Vid, Wgt};
     pub use mlgp_order::{analyze_ordering, mlnd_order, mmd_order, snd_order, SymbolicStats};
     pub use mlgp_part::{
         bisect, edge_cut_kway, imbalance, kway_partition, InitialPartitioning, MatchingScheme,
         MlConfig, RefinementPolicy,
     };
-    pub use mlgp_geom::{inertial_partition, rcb_partition, sphere_kway, SphereConfig};
     pub use mlgp_part::{kway_partition_refined, kway_refine_greedy};
     pub use mlgp_spectral::{chaco_ml_kway, msb_kl_kway, msb_kway, ChacoMlConfig, MsbConfig};
+    pub use mlgp_trace::Trace;
 }

@@ -12,7 +12,11 @@ fn partition_generated_graph() {
         .args(["partition", "gen:4ELT@0.05", "4"])
         .output()
         .expect("spawn mlgp");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("edge-cut="), "{stdout}");
     assert!(stdout.contains("k=4"));
@@ -44,7 +48,11 @@ fn gen_then_partition_file_round_trip() {
         .args(["gen", "BSP10", graph.to_str().unwrap(), "--scale", "0.1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let partfile = dir.join("t.part");
     let out = mlgp()
         .args([
@@ -56,7 +64,11 @@ fn gen_then_partition_file_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let labels = std::fs::read_to_string(&partfile).unwrap();
     let count = labels.lines().count();
     assert!(count > 100, "partition vector too short: {count}");
@@ -70,7 +82,11 @@ fn bare_report_flag_is_boolean() {
         .args(["partition", "gen:LS34@0.2", "2", "--report"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("comm volume"), "{stdout}");
 }
@@ -87,9 +103,15 @@ fn info_reports_structure() {
 fn unknown_commands_fail_cleanly() {
     let out = mlgp().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
-    let out = mlgp().args(["partition", "gen:NOPE", "2"]).output().unwrap();
+    let out = mlgp()
+        .args(["partition", "gen:NOPE", "2"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    let out = mlgp().args(["partition", "gen:LS34", "0"]).output().unwrap();
+    let out = mlgp()
+        .args(["partition", "gen:LS34", "0"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -98,4 +120,122 @@ fn help_prints_usage() {
     let out = mlgp().args(["--help"]).output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn stats_prints_phase_tree_to_stderr() {
+    let out = mlgp()
+        .args(["partition", "gen:4ELT@0.2", "4", "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in [
+        "phase tree",
+        "coarsen",
+        "uncoarsen",
+        "refine",
+        "project",
+        "fm_passes",
+    ] {
+        assert!(stderr.contains(needle), "missing `{needle}` in:\n{stderr}");
+    }
+    // The tree goes to stderr, not stdout.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("phase tree"));
+}
+
+#[test]
+fn trace_file_is_parseable_jsonl_with_level_records() {
+    let path = std::env::temp_dir().join(format!("mlgp-trace-{}.jsonl", std::process::id()));
+    let out = mlgp()
+        .args([
+            "partition",
+            "gen:4ELT@0.2",
+            "4",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let mut kinds = std::collections::BTreeMap::new();
+    for line in body.lines() {
+        let v = mlgp::trace::json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        let t = v.get("type").and_then(|t| t.as_str()).unwrap().to_string();
+        *kinds.entry(t.clone()).or_insert(0usize) += 1;
+        if t == "coarsen_level" {
+            for f in ["level", "vertices", "edges", "matched_fraction", "edge_wgt"] {
+                assert!(v.get(f).is_some(), "coarsen_level missing {f}: {line}");
+            }
+        }
+        if t == "refine_level" {
+            for f in ["level", "cut_before", "cut_after", "passes", "moves"] {
+                assert!(v.get(f).is_some(), "refine_level missing {f}: {line}");
+            }
+        }
+    }
+    // One record per hierarchy level for both phases, plus spans and counters.
+    assert!(
+        kinds.get("coarsen_level").copied().unwrap_or(0) >= 3,
+        "{kinds:?}"
+    );
+    assert_eq!(
+        kinds.get("coarsen_level"),
+        kinds.get("refine_level"),
+        "{kinds:?}"
+    );
+    assert!(
+        kinds.contains_key("span") && kinds.contains_key("counter"),
+        "{kinds:?}"
+    );
+    assert_eq!(kinds.get("meta"), Some(&1), "{kinds:?}");
+}
+
+#[test]
+fn report_json_is_a_single_parseable_object() {
+    let out = mlgp()
+        .args(["partition", "gen:LS34@0.2", "2", "--report-json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("no JSON object on stdout");
+    let v = mlgp::trace::json::parse(json_line).unwrap();
+    assert_eq!(v.get("nparts").and_then(|x| x.as_f64()), Some(2.0));
+    assert!(v.get("edge_cut").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+    assert!(v.get("imbalance").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+}
+
+#[test]
+fn order_stats_reports_separator_telemetry() {
+    let out = mlgp()
+        .args(["order", "gen:LS34@0.2", "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["nd", "separator_vertices", "phase tree"] {
+        assert!(stderr.contains(needle), "missing `{needle}` in:\n{stderr}");
+    }
 }

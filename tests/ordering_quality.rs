@@ -14,7 +14,9 @@ fn is_perm(p: &Permutation, n: usize) -> bool {
 #[test]
 fn all_orderings_are_permutations_on_suite_samples() {
     for key in ["LS34", "BSP10", "4ELT"] {
-        let g = mlgp::graph::generators::entry(key).unwrap().generate_scaled(0.08);
+        let g = mlgp::graph::generators::entry(key)
+            .unwrap()
+            .generate_scaled(0.08);
         for (name, p) in [
             ("mmd", mmd_order(&g)),
             ("mlnd", mlnd_order(&g)),

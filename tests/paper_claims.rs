@@ -14,7 +14,9 @@ fn mini_suite() -> Vec<(&'static str, mlgp::graph::CsrGraph)> {
         .map(|k| {
             (
                 *k,
-                mlgp::graph::generators::entry(k).unwrap().generate_scaled(0.10),
+                mlgp::graph::generators::entry(k)
+                    .unwrap()
+                    .generate_scaled(0.10),
             )
         })
         .collect()
@@ -54,7 +56,9 @@ fn claim_hem_coarse_partition_is_near_final() {
 #[test]
 fn claim_refinement_policies_agree_on_cut_but_not_on_cost() {
     // Table 4: all five policies land within a modest band of each other.
-    let g = mlgp::graph::generators::entry("BC30").unwrap().generate_scaled(0.10);
+    let g = mlgp::graph::generators::entry("BC30")
+        .unwrap()
+        .generate_scaled(0.10);
     let cuts: Vec<i64> = RefinementPolicy::evaluated()
         .into_iter()
         .map(|r| {
@@ -113,7 +117,9 @@ fn claim_mlnd_beats_mmd_on_3d_and_flattens_the_etree() {
 #[test]
 fn claim_multilevel_is_much_faster_than_msb() {
     // Figure 4 direction (generous factor: debug builds, small scale).
-    let g = mlgp::graph::generators::entry("BC31").unwrap().generate_scaled(0.15);
+    let g = mlgp::graph::generators::entry("BC31")
+        .unwrap()
+        .generate_scaled(0.15);
     let t = std::time::Instant::now();
     let _ = kway_partition(&g, 32, &MlConfig::default());
     let ours = t.elapsed();

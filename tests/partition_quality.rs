@@ -78,7 +78,12 @@ fn weighted_graph_bisection_respects_vertex_weights() {
     let g = b.build();
     let r = bisect(&g, &MlConfig::default());
     let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
-    assert!(bt.balanced(r.pwgts), "{:?} of total {}", r.pwgts, g.total_vwgt());
+    assert!(
+        bt.balanced(r.pwgts),
+        "{:?} of total {}",
+        r.pwgts,
+        g.total_vwgt()
+    );
 }
 
 #[test]

@@ -1,0 +1,268 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment is fully offline, so this shim supplies the small
+//! rayon surface the workspace uses, on top of `std::thread::scope`:
+//!
+//! * [`join`] — runs both closures, the first on a scoped thread, so the
+//!   recursive bisection / nested dissection forks still execute in
+//!   parallel;
+//! * `par_iter_mut().enumerate().with_min_len(_).for_each(_)` over slices —
+//!   chunked across `available_parallelism` scoped threads;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — an *advisory* pool:
+//!   `install` runs the closure inline and the thread-count knob only caps
+//!   the chunk fan-out of subsequent parallel iterators on this thread.
+//!
+//! Semantics match rayon closely enough for this workspace (same closure
+//! bounds, deterministic results); scheduling quality does not — there is
+//! no work stealing, so speedups are coarser-grained than real rayon.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Advisory thread cap installed by [`ThreadPool::install`] (0 = none).
+    static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let cap = THREAD_CAP.with(|c| c.get());
+    let hw = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    if cap == 0 {
+        hw
+    } else {
+        cap.min(hw.max(cap))
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. Panics are propagated.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if effective_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(oper_a);
+        let rb = oper_b();
+        let ra = match handle.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Builder for an (advisory) thread pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (hardware) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` threads (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Advisory thread pool: holds a thread cap applied while `install` runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread cap installed on the current
+    /// thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = THREAD_CAP.with(|c| c.replace(self.num_threads));
+        let r = op();
+        THREAD_CAP.with(|c| c.set(prev));
+        r
+    }
+
+    /// The configured thread count (hardware default if unset).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Parallel iterator support for mutable slices.
+pub mod slice {
+    /// `par_iter_mut` entry point (mirrors `rayon::prelude`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// A parallel iterator over mutable elements.
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// Parallel mutable slice iterator.
+    pub struct ParIterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Pair each element with its index.
+        pub fn enumerate(self) -> Enumerate<'a, T> {
+            Enumerate {
+                slice: self.slice,
+                min_len: 1,
+            }
+        }
+
+        /// Apply `f` to every element, in parallel chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            self.enumerate().for_each(|(_, t)| f(t));
+        }
+    }
+
+    /// Enumerated parallel mutable slice iterator.
+    pub struct Enumerate<'a, T> {
+        slice: &'a mut [T],
+        min_len: usize,
+    }
+
+    impl<T: Send> Enumerate<'_, T> {
+        /// Minimum chunk length per thread.
+        pub fn with_min_len(mut self, min_len: usize) -> Self {
+            self.min_len = min_len.max(1);
+            self
+        }
+
+        /// Apply `f` to every `(index, element)` pair, in parallel chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut T)) + Sync,
+        {
+            let n = self.slice.len();
+            if n == 0 {
+                return;
+            }
+            let threads = super::effective_threads();
+            let chunk = n.div_ceil(threads).max(self.min_len.max(1));
+            if chunk >= n || threads <= 1 {
+                for (i, t) in self.slice.iter_mut().enumerate() {
+                    f((i, t));
+                }
+                return;
+            }
+            let fref = &f;
+            std::thread::scope(|s| {
+                for (ci, ch) in self.slice.chunks_mut(chunk).enumerate() {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        for (i, t) in ch.iter_mut().enumerate() {
+                            fref((base + i, t));
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn join_nests() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 1000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_index() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut()
+            .enumerate()
+            .with_min_len(64)
+            .for_each(|(i, x)| *x = i * 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn pool_install_caps_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let r = pool.install(|| {
+            let (a, b) = join(|| 1, || 2);
+            a + b
+        });
+        assert_eq!(r, 3);
+    }
+}
