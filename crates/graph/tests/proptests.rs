@@ -41,6 +41,24 @@ proptest! {
     }
 
     #[test]
+    fn builder_rows_are_sorted_and_loop_free((n, edges) in edge_list(60)) {
+        // Canonical CSR form: every adjacency row strictly increasing (so
+        // no duplicates) with no self-loops. The parallel contraction
+        // kernel emits the same form, which is what makes coarse graphs
+        // comparable with `==` across thread counts.
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            b.add_weighted_edge(u, v, w);
+        }
+        let g = b.build();
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "row {} not sorted", v);
+            prop_assert!(!nb.contains(&v), "self-loop at {}", v);
+        }
+    }
+
+    #[test]
     fn chaco_io_round_trips((n, edges) in edge_list(40)) {
         let mut b = GraphBuilder::new(n);
         for &(u, v, w) in &edges {

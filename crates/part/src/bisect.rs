@@ -2,7 +2,7 @@
 //! graph, uncoarsen with refinement. Phase timings are recorded in the
 //! paper's vocabulary (CTime; UTime = ITime + RTime + PTime).
 
-use crate::coarsen::{coarsen, Hierarchy};
+use crate::coarsen::{coarsen_traced, Hierarchy};
 use crate::config::MlConfig;
 use crate::initpart::initial_partition_traced;
 use crate::refine::fm::BalanceTargets;
@@ -193,7 +193,7 @@ pub(crate) fn bisect_targets_branch(
     // same measurements stored in `PhaseTimes`, so the `--stats` tree and
     // the returned CTime/UTime split agree exactly.
     let t = Instant::now();
-    let h = coarsen(g, cfg, &mut rng);
+    let h = coarsen_traced(g, cfg, &mut rng, trace);
     times.coarsen = t.elapsed();
     trace.add_time(SPAN_COARSEN, times.coarsen);
     record_coarsen_levels(&h, cfg, trace, branch);

@@ -2,9 +2,10 @@
 //! small (§3.1).
 
 use crate::config::MlConfig;
-use crate::contract::contract;
-use crate::matching::compute_matching;
+use crate::contract::contract_threads;
+use crate::matching::compute_matching_threads;
 use mlgp_graph::{CsrGraph, Vid};
+use mlgp_trace::Trace;
 use rand::Rng;
 
 /// The multilevel hierarchy `G_0 ⊐ G_1 ⊐ … ⊐ G_m`.
@@ -41,6 +42,19 @@ impl Hierarchy {
 /// Coarsen `g` according to `cfg` (matching scheme, size target, stagnation
 /// guard). The RNG drives the random vertex visit orders.
 pub fn coarsen<R: Rng>(g: &CsrGraph, cfg: &MlConfig, rng: &mut R) -> Hierarchy {
+    coarsen_traced(g, cfg, rng, &Trace::disabled())
+}
+
+/// [`coarsen`] with kernel telemetry: records per-level parallel-kernel
+/// counters (`par_matching_rounds`, `par_matching_fallbacks`, per-shard
+/// edge-scan work) into `trace` when it is enabled. The hierarchy itself
+/// is identical to [`coarsen`]'s — tracing never perturbs the result.
+pub fn coarsen_traced<R: Rng>(
+    g: &CsrGraph,
+    cfg: &MlConfig,
+    rng: &mut R,
+    trace: &Trace,
+) -> Hierarchy {
     let mut graphs = vec![g.clone()];
     let mut cmaps: Vec<Vec<Vid>> = Vec::new();
     let mut cewgt = vec![0; g.n()];
@@ -50,13 +64,25 @@ pub fn coarsen<R: Rng>(g: &CsrGraph, cfg: &MlConfig, rng: &mut R) -> Hierarchy {
         if n <= cfg.coarsen_to.max(2) || cur.m() == 0 {
             break;
         }
-        let m = compute_matching(cur, cfg.matching, &cewgt, rng);
+        let (m, mstats) = compute_matching_threads(cur, cfg.matching, &cewgt, rng, cfg.threads);
         let (cmap, nc) = m.to_cmap();
         if nc as f64 > cfg.min_coarsen_shrink * n as f64 {
             // Matching stagnated (e.g. star graphs); stop coarsening.
             break;
         }
-        let c = contract(cur, &cmap, nc, &cewgt);
+        let (c, cstats) = contract_threads(cur, &cmap, nc, &cewgt, cfg.threads);
+        if trace.is_enabled() {
+            trace.count("par_matching_rounds", mstats.rounds as u64);
+            trace.count("par_matching_fallbacks", mstats.fallback as u64);
+            trace.count("par_match_shards", mstats.shards as u64);
+            trace.count("par_contract_shards", cstats.shards as u64);
+            for (i, &e) in mstats.edges_scanned.iter().enumerate() {
+                trace.count(&format!("par_match_shard{i}_edges"), e);
+            }
+            for (i, &e) in cstats.entries.iter().enumerate() {
+                trace.count(&format!("par_contract_shard{i}_entries"), e);
+            }
+        }
         cewgt = c.cewgt;
         graphs.push(c.graph);
         cmaps.push(cmap);

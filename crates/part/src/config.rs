@@ -156,6 +156,12 @@ pub struct MlConfig {
     pub hybrid_boundary_frac: f64,
     /// RNG seed (the paper fixes its seed for all experiments).
     pub seed: u64,
+    /// Worker threads for the parallel coarsening/metric kernels: `0`
+    /// follows the ambient rayon fan-out (`ThreadPool::install` caps it),
+    /// any other value forces exactly that many shards. Results are
+    /// bit-identical for every value — the kernels are deterministic by
+    /// construction (see `matching.rs`) — so this is purely a speed knob.
+    pub threads: usize,
 }
 
 impl Default for MlConfig {
@@ -171,6 +177,7 @@ impl Default for MlConfig {
             init_trials: 0,
             hybrid_boundary_frac: 0.02,
             seed: 4242,
+            threads: 0,
         }
     }
 }

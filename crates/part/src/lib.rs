@@ -35,16 +35,16 @@ pub mod report;
 pub use bisect::{
     bisect, bisect_targets, bisect_targets_traced, bisect_traced, BisectionResult, PhaseTimes,
 };
-pub use coarsen::{coarsen, Hierarchy};
+pub use coarsen::{coarsen, coarsen_traced, Hierarchy};
 pub use config::{InitialPartitioning, MatchingScheme, MlConfig, RefinementPolicy};
-pub use contract::{contract, Contraction};
+pub use contract::{contract, contract_threads, ContractStats, Contraction};
 pub use initpart::{initial_partition, initial_partition_traced};
 pub use kway::{kway_partition, kway_partition_traced, KwayResult};
 pub use kwayrefine::{
     kway_partition_refined, kway_partition_refined_traced, kway_refine_greedy,
     kway_refine_greedy_traced, KwayRefineOptions,
 };
-pub use matching::{compute_matching, Matching};
+pub use matching::{compute_matching, compute_matching_threads, MatchStats, Matching};
 pub use metrics::{
     boundary_count, communication_volume, edge_cut_bisection, edge_cut_kway, fragmentation,
     imbalance, part_weights,

@@ -1,23 +1,52 @@
-//! Maximal matchings for coarsening (§3.1 of the paper).
+//! Maximal matchings for coarsening (§3.1 of the paper), computed by a
+//! **deterministic parallel kernel**.
 //!
-//! All four schemes visit the vertices in random order and match each
-//! still-unmatched vertex with one of its unmatched neighbors:
+//! All four schemes pick, for each vertex, the unmatched neighbor that
+//! maximizes a scheme-specific edge score:
 //!
-//! * **RM** picks a random unmatched neighbor;
-//! * **HEM** picks the neighbor across the heaviest edge (maximizing the
-//!   matched weight `W(M)` and hence, since `W(E_{i+1}) = W(E_i) − W(M_i)`,
-//!   minimizing the coarse graph's edge weight);
-//! * **LEM** picks the lightest edge (the contrast scheme);
-//! * **HCM** picks the neighbor maximizing the *edge density* of the merged
-//!   multinode, `(cewgt(u) + cewgt(v) + w(u,v)) / (s(s−1)/2)` with
+//! * **RM** scores edges by a seeded hash (a random maximal matching);
+//! * **HEM** scores by edge weight (maximizing the matched weight `W(M)`
+//!   and hence, since `W(E_{i+1}) = W(E_i) − W(M_i)`, minimizing the coarse
+//!   graph's edge weight);
+//! * **LEM** scores by negated weight (the contrast scheme);
+//! * **HCM** scores by the *edge density* of the merged multinode,
+//!   `(cewgt(u) + cewgt(v) + w(u,v)) / (s(s−1)/2)` with
 //!   `s = vwgt(u) + vwgt(v)`, approximating the clique-finding coarseners.
 //!
-//! All run in `O(|E|)`.
+//! # The claim protocol (determinism contract)
+//!
+//! The kernel runs *handshake rounds* over vertex-range shards:
+//!
+//! 1. **Propose** — every unmatched vertex computes, in parallel, its best
+//!    unmatched neighbor under the total order `(score, rmin, rmax)`, where
+//!    `rmin`/`rmax` are the smaller/larger of the two endpoints' ranks in a
+//!    seeded random permutation. The key is *symmetric* (both endpoints
+//!    compute the same key for the same edge) and *strict* (ranks are
+//!    distinct), so the relation "u is v's best" admits no score cycles.
+//! 2. **Claim** — mutual proposals (`proposal[v] == u && proposal[u] == v`)
+//!    commit the pair: the lower-id endpoint claims both match slots with
+//!    compare-and-swap. Every slot is claimed at most once per round (the
+//!    mutual partner is unique), so each CAS succeeds exactly once and the
+//!    resulting `partner` array is independent of thread scheduling.
+//!
+//! Because the globally maximal available edge is always mutual, every
+//! round matches at least one pair; the loop ends when no unmatched vertex
+//! has an unmatched neighbor, i.e. the matching is **maximal**. A bounded
+//! round count guards pathological inputs (monotone weight chains); past
+//! the bound a sequential rank-order sweep — itself thread-independent —
+//! finishes the matching. The result is therefore a pure function of
+//! `(graph, scheme, seed)`: same seed + any thread count → same matching.
+//!
+//! All schemes run in `O(|E|)` per round; on meshes the active set decays
+//! geometrically, giving `O(|E| log |V|)` worst-case but ≈ 2–3 passes of
+//! total edge-scan work in practice.
 
 use crate::config::MatchingScheme;
 use mlgp_graph::rng::random_order;
 use mlgp_graph::{CsrGraph, Vid, Wgt};
-use rand::{Rng, RngExt};
+use rand::Rng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A matching: `partner[v] == v` iff `v` is unmatched.
 #[derive(Clone, Debug)]
@@ -26,6 +55,19 @@ pub struct Matching {
     pub partner: Vec<Vid>,
     /// Number of matched pairs.
     pub pairs: usize,
+}
+
+/// Telemetry from one run of the parallel matching kernel.
+#[derive(Clone, Debug, Default)]
+pub struct MatchStats {
+    /// Handshake rounds executed (0 for the empty graph).
+    pub rounds: usize,
+    /// Vertex-range shards the kernel fanned out to.
+    pub shards: usize,
+    /// Whether the bounded-round sequential sweep had to finish the job.
+    pub fallback: bool,
+    /// Adjacency entries scanned, per shard (cumulative over rounds).
+    pub edges_scanned: Vec<u64>,
 }
 
 impl Matching {
@@ -92,7 +134,20 @@ impl Matching {
     }
 }
 
-/// Compute a maximal matching with the given scheme.
+/// Sentinel for "no proposal".
+const NONE: u32 = u32::MAX;
+
+/// Below this vertex count the auto-threaded kernel stays on one shard
+/// (spawn overhead would dominate). Explicit thread requests are honored
+/// exactly, whatever the size — the result is identical either way.
+const MIN_PARALLEL_N: usize = 8192;
+
+/// Hard bound on handshake rounds before the sequential sweep takes over.
+fn max_rounds(n: usize) -> usize {
+    2 * usize::BITS.saturating_sub(n.leading_zeros()) as usize + 8
+}
+
+/// Compute a maximal matching with the given scheme (auto thread count).
 ///
 /// `cewgt[v]` is the total weight of edges already contracted inside
 /// multinode `v` (zeros at the finest level); only HCM consults it.
@@ -102,92 +157,275 @@ pub fn compute_matching<R: Rng>(
     cewgt: &[Wgt],
     rng: &mut R,
 ) -> Matching {
+    compute_matching_threads(g, scheme, cewgt, rng, 0).0
+}
+
+/// [`compute_matching`] with an explicit thread count (`0` = the rayon
+/// fan-out) and kernel telemetry. The matching is bit-identical for every
+/// `threads` value — parallelism only changes who computes it.
+pub fn compute_matching_threads<R: Rng>(
+    g: &CsrGraph,
+    scheme: MatchingScheme,
+    cewgt: &[Wgt],
+    rng: &mut R,
+    threads: usize,
+) -> (Matching, MatchStats) {
     let n = g.n();
     assert_eq!(cewgt.len(), n);
-    let mut partner: Vec<Vid> = (0..n as Vid).collect();
-    let mut pairs = 0;
+    // Seeded inputs, drawn identically whatever the thread count: a rank
+    // permutation (tie-breaking) and a salt (RM's edge hashing).
     let order = random_order(rng, n);
-    for &v in &order {
-        if partner[v as usize] != v {
-            continue; // already matched
+    let salt = rng.next_u64();
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let nshards = resolve_shards(n, threads);
+    let score = Scorer {
+        scheme,
+        salt,
+        g,
+        cewgt,
+    };
+
+    let partner: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let proposal: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let mut shards: Vec<Shard> = shard_bounds(n, nshards)
+        .into_iter()
+        .map(|(lo, hi)| Shard {
+            active: (lo as u32..hi as u32).collect(),
+            pairs: 0,
+            edges: 0,
+        })
+        .collect();
+
+    let mut stats = MatchStats {
+        rounds: 0,
+        shards: nshards,
+        fallback: false,
+        edges_scanned: Vec::new(),
+    };
+    let bound = max_rounds(n);
+    loop {
+        // Propose: each shard refreshes proposals for its still-active
+        // vertices; vertices with no unmatched neighbor retire for good
+        // (matched neighbors never come back).
+        shards
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1)
+            .for_each(|(_, sh)| {
+                let mut scanned = 0u64;
+                sh.active.retain(|&v| {
+                    if partner[v as usize].load(Ordering::Relaxed) != v {
+                        proposal[v as usize].store(NONE, Ordering::Relaxed);
+                        return false;
+                    }
+                    scanned += g.degree(v) as u64;
+                    match best_candidate(g, v, &partner, &rank, &score) {
+                        Some(u) => {
+                            proposal[v as usize].store(u, Ordering::Relaxed);
+                            true
+                        }
+                        None => {
+                            proposal[v as usize].store(NONE, Ordering::Relaxed);
+                            false
+                        }
+                    }
+                });
+                sh.edges += scanned;
+            });
+        let active_total: usize = shards.iter().map(|sh| sh.active.len()).sum();
+        if active_total == 0 {
+            break;
         }
-        let chosen = match scheme {
-            MatchingScheme::Random => pick_random(g, v, &partner, rng),
-            MatchingScheme::HeavyEdge => pick_extreme_edge(g, v, &partner, true),
-            MatchingScheme::LightEdge => pick_extreme_edge(g, v, &partner, false),
-            MatchingScheme::HeavyClique => pick_densest(g, v, &partner, cewgt),
-        };
-        if let Some(u) = chosen {
-            partner[v as usize] = u;
-            partner[u as usize] = v;
-            pairs += 1;
+        // Claim: commit mutual proposals. The lower-id endpoint claims both
+        // slots; each CAS targets a slot no other pair can claim, so the
+        // outcome is schedule-independent.
+        shards
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1)
+            .for_each(|(_, sh)| {
+                for &v in &sh.active {
+                    let u = proposal[v as usize].load(Ordering::Relaxed);
+                    if u == NONE || u <= v {
+                        continue;
+                    }
+                    if proposal[u as usize].load(Ordering::Relaxed) == v {
+                        let a = partner[v as usize].compare_exchange(
+                            v,
+                            u,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                        let b = partner[u as usize].compare_exchange(
+                            u,
+                            v,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                        debug_assert!(a.is_ok() && b.is_ok(), "claim slot contended");
+                        sh.pairs += 1;
+                    }
+                }
+            });
+        stats.rounds += 1;
+        // Progress is guaranteed (the max-key available edge is mutual),
+        // but guard both a theory violation and pathological round counts
+        // with the deterministic sequential sweep.
+        let made_progress = shards.iter().any(|sh| sh.pairs > 0);
+        if stats.rounds >= bound || !made_progress {
+            sequential_sweep(g, &order, &partner, &rank, &score);
+            stats.fallback = true;
+            break;
+        }
+        for sh in shards.iter_mut() {
+            sh.pairs = 0;
         }
     }
-    Matching { partner, pairs }
+    stats.edges_scanned = shards.iter().map(|sh| sh.edges).collect();
+
+    let partner: Vec<Vid> = partner.into_iter().map(AtomicU32::into_inner).collect();
+    let pairs = (0..n as Vid)
+        .filter(|&v| {
+            let p = partner[v as usize];
+            p != v && p > v
+        })
+        .count();
+    (Matching { partner, pairs }, stats)
 }
 
-/// RM: uniformly random unmatched neighbor (reservoir sampling over the
-/// adjacency list, equivalent to scanning a randomly permuted list).
-fn pick_random<R: Rng>(g: &CsrGraph, v: Vid, partner: &[Vid], rng: &mut R) -> Option<Vid> {
-    let mut chosen = None;
-    let mut count = 0u32;
-    for &u in g.neighbors(v) {
-        if partner[u as usize] == u {
-            count += 1;
-            if rng.random_range(0..count) == 0 {
-                chosen = Some(u);
+/// Per-shard kernel state: the vertices of one contiguous range that are
+/// still unmatched and still have unmatched neighbors.
+struct Shard {
+    active: Vec<Vid>,
+    pairs: u64,
+    edges: u64,
+}
+
+/// Shard count: explicit requests are honored exactly (so tests can force
+/// any fan-out); auto mode follows the rayon fan-out with a size floor.
+pub(crate) fn resolve_shards(n: usize, threads: usize) -> usize {
+    let t = if threads == 0 {
+        if n < MIN_PARALLEL_N {
+            1
+        } else {
+            rayon::current_num_threads()
+        }
+    } else {
+        threads
+    };
+    t.clamp(1, n.max(1))
+}
+
+/// Even contiguous vertex ranges, one per shard.
+pub(crate) fn shard_bounds(n: usize, nshards: usize) -> Vec<(usize, usize)> {
+    (0..nshards)
+        .map(|i| (i * n / nshards, (i + 1) * n / nshards))
+        .collect()
+}
+
+/// Scheme-specific edge scoring. Scores are pure functions of the edge and
+/// the seed — never of thread count or visit order.
+struct Scorer<'a> {
+    scheme: MatchingScheme,
+    salt: u64,
+    g: &'a CsrGraph,
+    cewgt: &'a [Wgt],
+}
+
+impl Scorer<'_> {
+    #[inline]
+    fn score(&self, v: Vid, u: Vid, w: Wgt) -> f64 {
+        match self.scheme {
+            MatchingScheme::Random => {
+                // Symmetric seeded hash → uniform in [0, 1).
+                let (a, b) = (v.min(u) as u64, v.max(u) as u64);
+                let h = splitmix64(self.salt ^ (a << 32 | b));
+                (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
             }
-        }
-    }
-    chosen
-}
-
-/// HEM (`heaviest = true`) / LEM (`false`): extreme-weight unmatched edge.
-fn pick_extreme_edge(g: &CsrGraph, v: Vid, partner: &[Vid], heaviest: bool) -> Option<Vid> {
-    let mut best: Option<(Wgt, Vid)> = None;
-    for (u, w) in g.adj(v) {
-        if partner[u as usize] != u {
-            continue;
-        }
-        let better = match best {
-            None => true,
-            Some((bw, _)) => {
-                if heaviest {
-                    w > bw
+            MatchingScheme::HeavyEdge => w as f64,
+            MatchingScheme::LightEdge => -(w as f64),
+            MatchingScheme::HeavyClique => {
+                let s = (self.g.vwgt()[v as usize] + self.g.vwgt()[u as usize]) as f64;
+                let max_internal = s * (s - 1.0) / 2.0;
+                let internal = (self.cewgt[v as usize] + self.cewgt[u as usize] + w) as f64;
+                if max_internal > 0.0 {
+                    internal / max_internal
                 } else {
-                    w < bw
+                    0.0
                 }
             }
-        };
-        if better {
-            best = Some((w, u));
+        }
+    }
+}
+
+/// SplitMix64 — the same mixer the vendored rand shim seeds with.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The symmetric total-order key of edge `(v, u)`: `(score, rmin, rmax)`.
+/// Distinct ranks make the order strict, which is what rules out proposal
+/// cycles (the globally maximal available edge is always mutual).
+#[inline]
+fn edge_key(rank: &[u32], score: f64, v: Vid, u: Vid) -> (f64, u32, u32) {
+    let (rv, ru) = (rank[v as usize], rank[u as usize]);
+    (score, rv.min(ru), rv.max(ru))
+}
+
+#[inline]
+fn key_gt(a: (f64, u32, u32), b: (f64, u32, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && (a.1 > b.1 || (a.1 == b.1 && a.2 > b.2)))
+}
+
+/// Best unmatched neighbor of `v` under the symmetric edge key, or `None`.
+#[inline]
+fn best_candidate(
+    g: &CsrGraph,
+    v: Vid,
+    partner: &[AtomicU32],
+    rank: &[u32],
+    score: &Scorer<'_>,
+) -> Option<Vid> {
+    let mut best: Option<((f64, u32, u32), Vid)> = None;
+    for (u, w) in g.adj(v) {
+        if partner[u as usize].load(Ordering::Relaxed) != u {
+            continue;
+        }
+        let key = edge_key(rank, score.score(v, u, w), v, u);
+        if best.is_none_or(|(bk, _)| key_gt(key, bk)) {
+            best = Some((key, u));
         }
     }
     best.map(|(_, u)| u)
 }
 
-/// HCM: unmatched neighbor maximizing the edge density of the merged node.
-fn pick_densest(g: &CsrGraph, v: Vid, partner: &[Vid], cewgt: &[Wgt]) -> Option<Vid> {
-    let mut best: Option<(f64, Vid)> = None;
-    let vw = g.vwgt()[v as usize];
-    let cv = cewgt[v as usize];
-    for (u, w) in g.adj(v) {
-        if partner[u as usize] != u {
+/// Deterministic sequential finisher: greedy sweep in rank order, matching
+/// each still-unmatched vertex with its best available neighbor. Runs on
+/// one thread whatever `threads` was, so it cannot break determinism; it
+/// restores maximality whenever the round bound cuts the handshake short.
+fn sequential_sweep(
+    g: &CsrGraph,
+    order: &[Vid],
+    partner: &[AtomicU32],
+    rank: &[u32],
+    score: &Scorer<'_>,
+) {
+    for &v in order {
+        if partner[v as usize].load(Ordering::Relaxed) != v {
             continue;
         }
-        let s = (vw + g.vwgt()[u as usize]) as f64;
-        let max_internal = s * (s - 1.0) / 2.0;
-        let internal = (cv + cewgt[u as usize] + w) as f64;
-        let density = if max_internal > 0.0 {
-            internal / max_internal
-        } else {
-            0.0
-        };
-        if best.is_none_or(|(bd, _)| density > bd) {
-            best = Some((density, u));
+        if let Some(u) = best_candidate(g, v, partner, rank, score) {
+            partner[v as usize].store(u, Ordering::Relaxed);
+            partner[u as usize].store(v, Ordering::Relaxed);
         }
     }
-    best.map(|(_, u)| u)
 }
 
 #[cfg(test)]
@@ -219,17 +457,19 @@ mod tests {
 
     #[test]
     fn hem_prefers_heavy_edges() {
-        // Star: center 0 with edges of weight 1,1,10 to 1,2,3. HEM from 0
-        // must take the weight-10 edge.
+        // Star: center 0 with edges of weight 1,1,10 to 1,2,3. HEM must
+        // take the weight-10 edge whatever the seed.
         let mut b = GraphBuilder::new(4);
         b.add_weighted_edge(0, 1, 1)
             .add_weighted_edge(0, 2, 1)
             .add_weighted_edge(0, 3, 10);
         let g = b.build();
-        let u = pick_extreme_edge(&g, 0, &[0, 1, 2, 3], true);
-        assert_eq!(u, Some(3));
-        let u = pick_extreme_edge(&g, 0, &[0, 1, 2, 3], false);
-        assert!(u == Some(1) || u == Some(2));
+        for seed in 0..8 {
+            let m = compute_matching(&g, MatchingScheme::HeavyEdge, &[0; 4], &mut seeded(seed));
+            assert_eq!(m.partner[0], 3, "seed {seed}");
+            let l = compute_matching(&g, MatchingScheme::LightEdge, &[0; 4], &mut seeded(seed));
+            assert!(l.partner[0] == 1 || l.partner[0] == 2, "seed {seed}");
+        }
     }
 
     #[test]
@@ -294,5 +534,62 @@ mod tests {
         let a = compute_matching(&g, MatchingScheme::Random, &cewgt, &mut seeded(9));
         let b = compute_matching(&g, MatchingScheme::Random, &cewgt, &mut seeded(9));
         assert_eq!(a.partner, b.partner);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_matching() {
+        let g = tri_mesh2d(24, 18, 7);
+        let cewgt = vec![0; g.n()];
+        for scheme in MatchingScheme::all() {
+            let (reference, s1) = compute_matching_threads(&g, scheme, &cewgt, &mut seeded(33), 1);
+            assert_eq!(s1.shards, 1);
+            for threads in [2, 3, 8] {
+                let (m, st) =
+                    compute_matching_threads(&g, scheme, &cewgt, &mut seeded(33), threads);
+                assert_eq!(st.shards, threads);
+                assert_eq!(
+                    m.partner, reference.partner,
+                    "{scheme:?} @ {threads} threads"
+                );
+                assert_eq!(m.pairs, reference.pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn round_bound_fallback_still_maximal_and_deterministic() {
+        // Monotone-weight path: every vertex proposes toward the heavy end,
+        // so each handshake round matches exactly one pair — the worst case
+        // that trips the round bound and exercises the sequential sweep.
+        let n = 600u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n - 1 {
+            b.add_weighted_edge(v, v + 1, (v + 1) as i64);
+        }
+        let g = b.build();
+        let cewgt = vec![0; g.n()];
+        let (m1, s1) =
+            compute_matching_threads(&g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(2), 1);
+        let (m4, s4) =
+            compute_matching_threads(&g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(2), 4);
+        assert!(
+            s1.fallback && s4.fallback,
+            "expected the round bound to trip"
+        );
+        assert_eq!(m1.partner, m4.partner);
+        m1.validate(&g).unwrap();
+        assert!(m1.is_maximal(&g));
+    }
+
+    #[test]
+    fn stats_report_scanning_work() {
+        let g = grid2d(40, 40);
+        let cewgt = vec![0; g.n()];
+        let (_, st) =
+            compute_matching_threads(&g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(1), 4);
+        assert_eq!(st.shards, 4);
+        assert_eq!(st.edges_scanned.len(), 4);
+        assert!(st.rounds >= 1);
+        assert!(st.edges_scanned.iter().sum::<u64>() >= g.nnz() as u64);
     }
 }

@@ -1,42 +1,74 @@
 //! Partition quality metrics: edge-cut, balance, boundary size.
+//!
+//! The hot metrics (`edge_cut_*`, [`part_weights`], [`boundary_count`])
+//! reduce in parallel over contiguous vertex ranges. Every reduction sums
+//! integers — an associative, commutative fold — and the shim combines
+//! chunk partials in chunk order, so the results are exact and identical
+//! for any thread count. Signatures are unchanged from the sequential
+//! versions; parallelism is an internal detail governed by the ambient
+//! rayon thread cap (`ThreadPool::install`).
 
 use mlgp_graph::{CsrGraph, Vid, Wgt};
+use rayon::prelude::*;
+
+/// Below this vertex count the metrics stay sequential — the graphs at the
+/// coarse end of a hierarchy are far too small to amortize a spawn.
+const MIN_PARALLEL_N: usize = 8192;
 
 /// Edge-cut of a 2-way partition given as 0/1 labels.
 pub fn edge_cut_bisection(g: &CsrGraph, part: &[u8]) -> Wgt {
     assert_eq!(part.len(), g.n());
-    let mut cut = 0;
-    for v in 0..g.n() as Vid {
-        for (u, w) in g.adj(v) {
-            if u > v && part[u as usize] != part[v as usize] {
-                cut += w;
-            }
-        }
-    }
-    cut
+    let cut_from = |v: Vid| -> Wgt {
+        g.adj(v)
+            .filter(|&(u, _)| u > v && part[u as usize] != part[v as usize])
+            .map(|(_, w)| w)
+            .sum()
+    };
+    (0..g.n())
+        .into_par_iter()
+        .with_min_len(MIN_PARALLEL_N)
+        .map(|v| cut_from(v as Vid))
+        .sum()
 }
 
 /// Edge-cut of a k-way partition given as arbitrary labels.
 pub fn edge_cut_kway(g: &CsrGraph, part: &[u32]) -> Wgt {
     assert_eq!(part.len(), g.n());
-    let mut cut = 0;
-    for v in 0..g.n() as Vid {
-        for (u, w) in g.adj(v) {
-            if u > v && part[u as usize] != part[v as usize] {
-                cut += w;
-            }
-        }
-    }
-    cut
+    let cut_from = |v: Vid| -> Wgt {
+        g.adj(v)
+            .filter(|&(u, _)| u > v && part[u as usize] != part[v as usize])
+            .map(|(_, w)| w)
+            .sum()
+    };
+    (0..g.n())
+        .into_par_iter()
+        .with_min_len(MIN_PARALLEL_N)
+        .map(|v| cut_from(v as Vid))
+        .sum()
 }
 
 /// Per-part vertex weights of a k-way partition.
 pub fn part_weights(g: &CsrGraph, part: &[u32], nparts: usize) -> Vec<Wgt> {
-    let mut w = vec![0; nparts];
-    for v in 0..g.n() {
-        w[part[v] as usize] += g.vwgt()[v];
-    }
-    w
+    assert_eq!(part.len(), g.n());
+    (0..g.n())
+        .into_par_iter()
+        .with_min_len(MIN_PARALLEL_N)
+        .fold(
+            || vec![0 as Wgt; nparts],
+            |mut acc, v| {
+                acc[part[v] as usize] += g.vwgt()[v];
+                acc
+            },
+        )
+        .reduce(
+            || vec![0 as Wgt; nparts],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
 }
 
 /// Load imbalance of a k-way partition: `max_i w_i / (W/k)`; 1.0 is perfect.
@@ -52,13 +84,15 @@ pub fn imbalance(g: &CsrGraph, part: &[u32], nparts: usize) -> f64 {
 
 /// Number of boundary vertices (vertices with at least one cut edge).
 pub fn boundary_count(g: &CsrGraph, part: &[u32]) -> usize {
-    (0..g.n() as Vid)
-        .filter(|&v| {
-            g.neighbors(v)
+    (0..g.n())
+        .into_par_iter()
+        .with_min_len(MIN_PARALLEL_N)
+        .map(|v| {
+            g.neighbors(v as Vid)
                 .iter()
-                .any(|&u| part[u as usize] != part[v as usize])
+                .any(|&u| part[u as usize] != part[v]) as usize
         })
-        .count()
+        .sum()
 }
 
 /// Total communication volume of a k-way partition: for each vertex, the

@@ -120,6 +120,69 @@ proptest! {
     }
 
     #[test]
+    fn matching_is_symmetric_disjoint_and_thread_independent(
+        n in 4usize..120,
+        extra in 0usize..180,
+        seed in 0u64..500,
+        threads in 1usize..9,
+    ) {
+        // The parallel kernel's core contract: a valid (symmetric,
+        // vertex-disjoint, edges-only) maximal matching whose partner
+        // array does not depend on the shard count.
+        let g = random_graph(n, extra, seed);
+        let cewgt = vec![0; g.n()];
+        for scheme in MatchingScheme::all() {
+            let (reference, _) = mlgp_part::compute_matching_threads(
+                &g, scheme, &cewgt, &mut seeded(seed ^ 21), 1);
+            prop_assert!(reference.validate(&g).is_ok(), "{scheme:?}");
+            prop_assert!(reference.is_maximal(&g), "{scheme:?} not maximal");
+            let (m, _) = mlgp_part::compute_matching_threads(
+                &g, scheme, &cewgt, &mut seeded(seed ^ 21), threads);
+            prop_assert_eq!(&m.partner, &reference.partner,
+                "{:?} differs at {} threads", scheme, threads);
+        }
+    }
+
+    #[test]
+    fn contraction_invariants_hold_at_any_shard_count(
+        n in 4usize..120,
+        extra in 0usize..180,
+        seed in 0u64..500,
+        threads in 1usize..9,
+    ) {
+        // Contraction preserves total vertex weight; removes exactly the
+        // matched weight from the edge total (W(E_{i+1}) = W(E_i) − W(M_i),
+        // with the collapsed weight accounted in cewgt); and emits a valid
+        // CSR with sorted, self-loop-free, symmetric rows — independent of
+        // the shard count.
+        let g = random_graph(n, extra, seed);
+        let cewgt = vec![0; g.n()];
+        let m = mlgp_part::compute_matching(
+            &g, MatchingScheme::HeavyEdge, &cewgt, &mut seeded(seed ^ 5));
+        let matched_weight: i64 = (0..g.n() as u32)
+            .filter_map(|v| {
+                let p = m.partner[v as usize];
+                (p > v).then(|| g.adj(v).find(|&(u, _)| u == p).unwrap().1)
+            })
+            .sum();
+        let (cmap, nc) = m.to_cmap();
+        let (reference, _) = mlgp_part::contract_threads(&g, &cmap, nc, &cewgt, 1);
+        let (c, _) = mlgp_part::contract_threads(&g, &cmap, nc, &cewgt, threads);
+        prop_assert_eq!(&c.graph, &reference.graph, "graph differs at {} shards", threads);
+        prop_assert_eq!(&c.cewgt, &reference.cewgt);
+        prop_assert_eq!(c.graph.total_vwgt(), g.total_vwgt());
+        prop_assert_eq!(c.graph.total_adjwgt(), g.total_adjwgt() - matched_weight);
+        prop_assert_eq!(c.cewgt.iter().sum::<i64>(), matched_weight);
+        // validate() covers symmetry, positive weights, no self-loops, no
+        // duplicates; sortedness is the kernel's canonical-form promise.
+        prop_assert!(c.graph.validate().is_ok());
+        for v in 0..c.graph.n() as u32 {
+            let nb = c.graph.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "row {} unsorted", v);
+        }
+    }
+
+    #[test]
     fn gain_queue_pops_in_monotone_order(entries in prop::collection::vec((0u32..50, -20i64..20), 1..60)) {
         let mut q = GainQueue::new();
         for &(v, g) in &entries {

@@ -52,6 +52,7 @@ mlgp — multilevel graph partitioning (Karypis-Kumar ICPP'95 reproduction)
 USAGE:
   mlgp partition <graph> <k> [--report] [--report-json] [--stats] [--trace FILE]
                              [--method ml|msb|msb-kl|chaco] [--seed N] [--out FILE]
+                             [--threads N]
   mlgp order     <graph>     [--method mlnd|mmd|snd] [--stats] [--trace FILE] [--out FILE]
   mlgp gen       <key> <out.graph> [--scale F]
   mlgp info      <graph>
@@ -61,7 +62,9 @@ DESIGN.md, e.g. gen:4ELT, gen:BC31@0.1).
 
 --stats prints a phase-tree timing summary (CTime/UTime vocabulary) to
 stderr; --trace FILE writes JSONL telemetry; --report-json prints the
-partition quality report as one JSON object on stdout.
+partition quality report as one JSON object on stdout. --threads N runs
+the ml coarsening/metric kernels on N workers (0 = auto); the partition
+is bit-identical for every N.
 ";
 
 /// Positional arguments and `(name, value)` option pairs.
@@ -164,6 +167,10 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
         .transpose()?
         .unwrap_or(4242);
+    let threads: usize = opt(&opts, "threads")
+        .map(|s| s.parse().map_err(|_| format!("bad thread count `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
     let g = load_graph(spec)?;
     eprintln!(
         "graph: {} vertices, {} edges (avg degree {:.1})",
@@ -176,19 +183,34 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     trace.set_meta("method", method);
     trace.set_meta("k", k);
     trace.set_meta("seed", seed);
+    trace.set_meta("threads", threads);
     let t = Instant::now();
     let part: Vec<u32> = match method {
         "ml" => {
-            mlgp::part::kway_partition_traced(
-                &g,
-                k,
-                &MlConfig {
-                    seed,
-                    ..MlConfig::default()
-                },
-                &trace,
-            )
-            .part
+            // An explicit --threads N also caps the k-way recursion's
+            // rayon fan-out, so N bounds total workers end to end.
+            let run = || {
+                mlgp::part::kway_partition_traced(
+                    &g,
+                    k,
+                    &MlConfig {
+                        seed,
+                        threads,
+                        ..MlConfig::default()
+                    },
+                    &trace,
+                )
+                .part
+            };
+            if threads > 0 {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .map_err(|e| format!("thread pool: {e:?}"))?
+                    .install(run)
+            } else {
+                run()
+            }
         }
         "msb" => msb_kway(
             &g,

@@ -1,0 +1,140 @@
+//! Golden quality regression over the Table 1 synthetic suite.
+//!
+//! `results/golden_table1.json` pins the fixed-seed 8-way edge cuts of
+//! every suite graph at a small scale. The test recomputes them and fails
+//! on any relative drift beyond ±2% — the band the paper itself treats as
+//! noise between runs. Because the whole pipeline is deterministic (see
+//! `crates/part/tests/determinism.rs`), a drift here means an algorithmic
+//! change, not jitter: if the change is intentional, regenerate with
+//!
+//! ```sh
+//! MLGP_REGEN_GOLDEN=1 cargo test --test golden_table1
+//! ```
+//!
+//! and review the cut deltas in the diff like any other code change.
+
+use mlgp::graph::generators::suite;
+use mlgp_part::{kway_partition, MlConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = "results/golden_table1.json";
+const SCALE: f64 = 0.02;
+const K: usize = 8;
+const SEED: u64 = 4242;
+/// Allowed relative drift before the test fails.
+const TOLERANCE: f64 = 0.02;
+
+fn compute_cuts() -> Vec<(&'static str, i64)> {
+    suite()
+        .iter()
+        .map(|e| {
+            let g = e.generate_scaled(SCALE);
+            let cut = kway_partition(
+                &g,
+                K,
+                &MlConfig {
+                    seed: SEED,
+                    ..MlConfig::default()
+                },
+            )
+            .edge_cut;
+            (e.key, cut)
+        })
+        .collect()
+}
+
+fn render(cuts: &[(&str, i64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"_regen\": \"MLGP_REGEN_GOLDEN=1 cargo test --test golden_table1\","
+    );
+    let _ = writeln!(s, "  \"scale\": {SCALE},");
+    let _ = writeln!(s, "  \"k\": {K},");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    s.push_str("  \"cuts\": {\n");
+    for (i, (key, cut)) in cuts.iter().enumerate() {
+        let comma = if i + 1 < cuts.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{key}\": {cut}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Minimal line-oriented parser for the golden file's `"KEY": N` pairs
+/// (the vendored environment has no JSON dependency; the file format is
+/// ours, one cut per line).
+fn parse(golden: &str) -> Vec<(String, i64)> {
+    let mut cuts = Vec::new();
+    let mut in_cuts = false;
+    for line in golden.lines() {
+        let t = line.trim();
+        if t.starts_with("\"cuts\"") {
+            in_cuts = true;
+            continue;
+        }
+        if !in_cuts {
+            continue;
+        }
+        if t.starts_with('}') {
+            break;
+        }
+        let Some((key, value)) = t.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(cut) = value.parse::<i64>() {
+            cuts.push((key, cut));
+        }
+    }
+    cuts
+}
+
+#[test]
+fn golden_cuts_have_not_drifted() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let cuts = compute_cuts();
+    if std::env::var("MLGP_REGEN_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, render(&cuts)).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH} with {} entries", cuts.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing {GOLDEN_PATH} ({e}); regenerate with MLGP_REGEN_GOLDEN=1")
+    });
+    let expected = parse(&golden);
+    assert_eq!(
+        expected.len(),
+        cuts.len(),
+        "golden file covers {} graphs, suite has {} — regenerate",
+        expected.len(),
+        cuts.len()
+    );
+    let mut failures = Vec::new();
+    for ((key, cut), (gkey, golden_cut)) in cuts.iter().zip(&expected) {
+        assert_eq!(
+            key, gkey,
+            "suite order changed — regenerate the golden file"
+        );
+        // Integer-exact for tiny cuts; ±2% once cuts are large enough for
+        // a relative band to be meaningful.
+        let drift = (*cut - *golden_cut).abs() as f64;
+        let allowed = (TOLERANCE * *golden_cut as f64).max(0.0);
+        if drift > allowed {
+            failures.push(format!(
+                "{key}: cut {cut} vs golden {golden_cut} (drift {:.1}%, allowed {:.0}%)",
+                100.0 * drift / (*golden_cut).max(1) as f64,
+                100.0 * TOLERANCE
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "quality drift beyond ±{:.0}%:\n  {}\n(if intentional: MLGP_REGEN_GOLDEN=1 cargo test --test golden_table1)",
+        100.0 * TOLERANCE,
+        failures.join("\n  ")
+    );
+}

@@ -7,8 +7,24 @@ use mlgp::prelude::*;
 use mlgp_part::kway_partition;
 use mlgp_spectral::msb_kway;
 
+/// `MLGP_HEAVY_TESTS=1` (set by the scheduled CI job, not the PR gate)
+/// runs the original larger instances; the default sizes keep the whole
+/// suite under ~10s in debug builds.
+fn heavy() -> bool {
+    std::env::var("MLGP_HEAVY_TESTS").is_ok_and(|v| v == "1")
+}
+
+fn pick<T>(light: T, heavy_val: T) -> T {
+    if heavy() {
+        heavy_val
+    } else {
+        light
+    }
+}
+
 /// A fixed sub-suite that exercises the main graph classes quickly.
 fn mini_suite() -> Vec<(&'static str, mlgp::graph::CsrGraph)> {
+    let scale = pick(0.04, 0.10);
     ["BC30", "4ELT", "COPT"]
         .iter()
         .map(|k| {
@@ -16,7 +32,7 @@ fn mini_suite() -> Vec<(&'static str, mlgp::graph::CsrGraph)> {
                 *k,
                 mlgp::graph::generators::entry(k)
                     .unwrap()
-                    .generate_scaled(0.10),
+                    .generate_scaled(scale),
             )
         })
         .collect()
@@ -58,7 +74,7 @@ fn claim_refinement_policies_agree_on_cut_but_not_on_cost() {
     // Table 4: all five policies land within a modest band of each other.
     let g = mlgp::graph::generators::entry("BC30")
         .unwrap()
-        .generate_scaled(0.10);
+        .generate_scaled(pick(0.05, 0.10));
     let cuts: Vec<i64> = RefinementPolicy::evaluated()
         .into_iter()
         .map(|r| {
@@ -81,11 +97,18 @@ fn claim_refinement_policies_agree_on_cut_but_not_on_cost() {
 #[test]
 fn claim_multilevel_quality_holds_against_msb() {
     // Figures 1/2: aggregate cut within ~15% of MSB (usually better).
+    // MSB's Lanczos solves dominate this test's runtime, so light mode
+    // shrinks the instances further than the rest of the suite.
+    let scale = pick(0.01, 0.10);
+    let k = pick(4, 16);
     let mut ours_total = 0i64;
     let mut msb_total = 0i64;
-    for (_, g) in mini_suite() {
-        ours_total += kway_partition(&g, 16, &MlConfig::default()).edge_cut;
-        let m = msb_kway(&g, 16, &MsbConfig::default());
+    for key in ["BC30", "4ELT", "COPT"] {
+        let g = mlgp::graph::generators::entry(key)
+            .unwrap()
+            .generate_scaled(scale);
+        ours_total += kway_partition(&g, k, &MlConfig::default()).edge_cut;
+        let m = msb_kway(&g, k, &MsbConfig::default());
         msb_total += edge_cut_kway(&g, &m);
     }
     assert!(
@@ -97,7 +120,8 @@ fn claim_multilevel_quality_holds_against_msb() {
 #[test]
 fn claim_mlnd_beats_mmd_on_3d_and_flattens_the_etree() {
     // Figure 5 + the §4.3 concurrency argument, on a 3D stiffness graph.
-    let g = mlgp::graph::generators::stiffness3d(14, 14, 14);
+    let d = pick(10, 14);
+    let g = mlgp::graph::generators::stiffness3d(d, d, d);
     let nd = analyze_ordering(&g, &mlnd_order(&g));
     let md = analyze_ordering(&g, &mmd_order(&g));
     assert!(
@@ -119,12 +143,13 @@ fn claim_multilevel_is_much_faster_than_msb() {
     // Figure 4 direction (generous factor: debug builds, small scale).
     let g = mlgp::graph::generators::entry("BC31")
         .unwrap()
-        .generate_scaled(0.15);
+        .generate_scaled(pick(0.025, 0.15));
+    let k = pick(16, 32);
     let t = std::time::Instant::now();
-    let _ = kway_partition(&g, 32, &MlConfig::default());
+    let _ = kway_partition(&g, k, &MlConfig::default());
     let ours = t.elapsed();
     let t = std::time::Instant::now();
-    let _ = msb_kway(&g, 32, &MsbConfig::default());
+    let _ = msb_kway(&g, k, &MsbConfig::default());
     let msb = t.elapsed();
     assert!(
         msb > 2 * ours,

@@ -5,16 +5,28 @@
 //!
 //! * [`join`] — runs both closures, the first on a scoped thread, so the
 //!   recursive bisection / nested dissection forks still execute in
-//!   parallel;
+//!   parallel (the advisory thread cap propagates into both sides);
 //! * `par_iter_mut().enumerate().with_min_len(_).for_each(_)` over slices —
 //!   chunked across `available_parallelism` scoped threads;
+//! * `(0..n).into_par_iter().with_min_len(_)` indexed range iterators with
+//!   `for_each` / `map(..).sum()` / `map(..).reduce(..)` /
+//!   `fold(..).reduce(..)` — the chunked-reduce backbone of the parallel
+//!   coarsening and metrics kernels;
+//! * `par_chunks(size)` over shared slices (with `enumerate`-style chunk
+//!   indices baked into `map`'s closure arguments);
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — an *advisory* pool:
 //!   `install` runs the closure inline and the thread-count knob only caps
-//!   the chunk fan-out of subsequent parallel iterators on this thread.
+//!   the chunk fan-out of subsequent parallel iterators on this thread
+//!   (and, via [`join`], of the forked subtree);
+//! * [`current_num_threads`] — the effective fan-out after the cap.
 //!
 //! Semantics match rayon closely enough for this workspace (same closure
 //! bounds, deterministic results); scheduling quality does not — there is
 //! no work stealing, so speedups are coarser-grained than real rayon.
+//!
+//! Determinism note: all reductions combine per-chunk partial results in
+//! chunk order, and every workspace reduction is over integers (associative,
+//! commutative), so results are independent of the thread count.
 
 use std::cell::Cell;
 
@@ -35,8 +47,17 @@ fn effective_threads() -> usize {
     }
 }
 
+/// The number of threads parallel iterators will fan out to on this thread
+/// (hardware parallelism, or the advisory cap installed by
+/// [`ThreadPool::install`]).
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
 /// Run `oper_a` and `oper_b`, potentially in parallel, returning both
-/// results. Panics are propagated.
+/// results. Panics are propagated. The advisory thread cap of the calling
+/// thread is carried into the forked closure so nested parallel iterators
+/// see the same fan-out limit.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -44,11 +65,15 @@ where
     RA: Send,
     RB: Send,
 {
+    let cap = THREAD_CAP.with(|c| c.get());
     if effective_threads() <= 1 {
         return (oper_a(), oper_b());
     }
     std::thread::scope(|s| {
-        let handle = s.spawn(oper_a);
+        let handle = s.spawn(move || {
+            THREAD_CAP.with(|c| c.set(cap));
+            oper_a()
+        });
         let rb = oper_b();
         let ra = match handle.join() {
             Ok(ra) => ra,
@@ -56,6 +81,40 @@ where
         };
         (ra, rb)
     })
+}
+
+/// Split `len` items into chunk jobs of at least `min_len` (at most one per
+/// effective thread) and run `job(chunk_index, range)` for each, returning
+/// the per-chunk results **in chunk order**. The workhorse behind every
+/// parallel iterator in this shim; single-chunk workloads run inline.
+fn run_chunked<T, F>(len: usize, min_len: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads();
+    let chunk = len.div_ceil(threads).max(min_len.max(1));
+    if chunk >= len || threads <= 1 {
+        return vec![job(0, 0..len)];
+    }
+    let nchunks = len.div_ceil(chunk);
+    let mut out: Vec<Option<T>> = (0..nchunks).map(|_| None).collect();
+    let jref = &job;
+    let cap = THREAD_CAP.with(|c| c.get());
+    std::thread::scope(|s| {
+        for (ci, slot) in out.iter_mut().enumerate() {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(len);
+            s.spawn(move || {
+                THREAD_CAP.with(|c| c.set(cap));
+                *slot = Some(jref(ci, lo..hi));
+            });
+        }
+    });
+    out.into_iter().map(|t| t.expect("chunk job ran")).collect()
 }
 
 /// Builder for an (advisory) thread pool.
@@ -201,10 +260,12 @@ pub mod slice {
                 return;
             }
             let fref = &f;
+            let cap = super::THREAD_CAP.with(|c| c.get());
             std::thread::scope(|s| {
                 for (ci, ch) in self.slice.chunks_mut(chunk).enumerate() {
                     let base = ci * chunk;
                     s.spawn(move || {
+                        super::THREAD_CAP.with(|c| c.set(cap));
                         for (i, t) in ch.iter_mut().enumerate() {
                             fref((base + i, t));
                         }
@@ -213,11 +274,265 @@ pub mod slice {
             });
         }
     }
+
+    /// `par_chunks` entry point over shared slices (mirrors
+    /// `rayon::slice::ParallelSlice`).
+    pub trait ParallelSlice<T: Sync> {
+        /// A parallel iterator over contiguous chunks of `size` elements
+        /// (the final chunk may be shorter).
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            ParChunks {
+                slice: self,
+                size: size.max(1),
+            }
+        }
+    }
+
+    /// Parallel shared-chunk iterator.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Map each `(chunk_index, chunk)` pair to a value; chain with
+        /// [`ChunksMap::reduce`] or [`ChunksMap::sum`].
+        pub fn map<U, F>(self, f: F) -> ChunksMap<'a, T, F>
+        where
+            U: Send,
+            F: Fn(usize, &[T]) -> U + Sync,
+        {
+            ChunksMap {
+                slice: self.slice,
+                size: self.size,
+                f,
+            }
+        }
+
+        /// Apply `f` to every `(chunk_index, chunk)` pair.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize, &[T]) + Sync,
+        {
+            self.map(|ci, ch| f(ci, ch)).reduce(|| (), |_, _| ());
+        }
+    }
+
+    /// Mapped parallel chunk iterator.
+    pub struct ChunksMap<'a, T, F> {
+        slice: &'a [T],
+        size: usize,
+        f: F,
+    }
+
+    impl<T: Sync, U: Send, F: Fn(usize, &[T]) -> U + Sync> ChunksMap<'_, T, F> {
+        /// Reduce the per-chunk values with `op`, starting from `identity`.
+        /// Partial results are combined in chunk order.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+        where
+            ID: Fn() -> U + Sync,
+            OP: Fn(U, U) -> U + Sync,
+        {
+            let nchunks = self.slice.len().div_ceil(self.size).max(1);
+            let threads = super::effective_threads().max(1);
+            // One spawned job per thread; each job covers a contiguous run
+            // of chunks so chunk indices stay meaningful.
+            let per_job = nchunks.div_ceil(threads);
+            let f = &self.f;
+            let slice = self.slice;
+            let size = self.size;
+            super::run_chunked(nchunks, per_job, |_, chunks| {
+                let mut acc = identity();
+                for ci in chunks {
+                    let lo = ci * size;
+                    let hi = (lo + size).min(slice.len());
+                    acc = op(acc, f(ci, &slice[lo..hi]));
+                }
+                acc
+            })
+            .into_iter()
+            .fold(identity(), op)
+        }
+
+        /// Sum the per-chunk values. Partial sums are combined in chunk
+        /// order (exact for the integer sums used in this workspace).
+        pub fn sum(self) -> U
+        where
+            U: std::iter::Sum<U>,
+        {
+            let nchunks = self.slice.len().div_ceil(self.size).max(1);
+            let threads = super::effective_threads().max(1);
+            let per_job = nchunks.div_ceil(threads);
+            let f = &self.f;
+            let slice = self.slice;
+            let size = self.size;
+            let partials = super::run_chunked(nchunks, per_job, |_, chunks| {
+                chunks
+                    .map(|ci| {
+                        let lo = ci * size;
+                        let hi = (lo + size).min(slice.len());
+                        f(ci, &slice[lo..hi])
+                    })
+                    .sum::<U>()
+            });
+            partials.into_iter().sum()
+        }
+    }
+}
+
+/// Indexed parallel iterators over `usize` ranges — the chunked map/reduce
+/// surface the coarsening and metrics kernels are built on.
+pub mod iter {
+    use std::ops::Range;
+
+    /// Conversion into a parallel iterator (mirrors `rayon::prelude`).
+    pub trait IntoParallelIterator {
+        /// The concrete parallel iterator type.
+        type Iter;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = RangeParIter;
+        fn into_par_iter(self) -> RangeParIter {
+            RangeParIter {
+                range: self,
+                min_len: 1,
+            }
+        }
+    }
+
+    /// Parallel iterator over a `usize` range.
+    pub struct RangeParIter {
+        range: Range<usize>,
+        min_len: usize,
+    }
+
+    impl RangeParIter {
+        /// Minimum number of indices per chunk (controls fan-out; chunks
+        /// below this size run inline).
+        pub fn with_min_len(mut self, min_len: usize) -> Self {
+            self.min_len = min_len.max(1);
+            self
+        }
+
+        /// Apply `f` to every index, in parallel chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize) + Sync,
+        {
+            let start = self.range.start;
+            super::run_chunked(self.range.len(), self.min_len, |_, r| {
+                for i in r {
+                    f(start + i);
+                }
+            });
+        }
+
+        /// Map every index; chain with [`RangeMap::sum`] or
+        /// [`RangeMap::reduce`].
+        pub fn map<T, F>(self, f: F) -> RangeMap<F>
+        where
+            T: Send,
+            F: Fn(usize) -> T + Sync,
+        {
+            RangeMap { iter: self, f }
+        }
+
+        /// Rayon-style fold: each chunk folds its indices into an
+        /// accumulator created by `identity`; chain with
+        /// [`RangeFold::reduce`] to combine the per-chunk accumulators.
+        pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> RangeFold<ID, F>
+        where
+            T: Send,
+            ID: Fn() -> T + Sync,
+            F: Fn(T, usize) -> T + Sync,
+        {
+            RangeFold {
+                iter: self,
+                identity,
+                fold_op,
+            }
+        }
+    }
+
+    /// Mapped parallel range iterator.
+    pub struct RangeMap<F> {
+        iter: RangeParIter,
+        f: F,
+    }
+
+    impl<F> RangeMap<F> {
+        /// Sum all mapped values. Per-chunk partial sums are combined in
+        /// chunk order (exact for the integer sums used in this workspace).
+        pub fn sum<S>(self) -> S
+        where
+            F: Fn(usize) -> S + Sync,
+            S: Send + std::iter::Sum<S>,
+        {
+            let start = self.iter.range.start;
+            let f = &self.f;
+            let partials = super::run_chunked(self.iter.range.len(), self.iter.min_len, |_, r| {
+                r.map(|i| f(start + i)).sum::<S>()
+            });
+            partials.into_iter().sum()
+        }
+
+        /// Reduce all mapped values with `op`, starting each chunk from
+        /// `identity()`; per-chunk results are combined in chunk order.
+        pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
+        where
+            F: Fn(usize) -> T + Sync,
+            T: Send,
+            ID: Fn() -> T + Sync,
+            OP: Fn(T, T) -> T + Sync,
+        {
+            let start = self.iter.range.start;
+            let f = &self.f;
+            let partials = super::run_chunked(self.iter.range.len(), self.iter.min_len, |_, r| {
+                r.fold(identity(), |acc, i| op(acc, f(start + i)))
+            });
+            partials.into_iter().fold(identity(), op)
+        }
+    }
+
+    /// Folded parallel range iterator (one accumulator per chunk).
+    pub struct RangeFold<ID, F> {
+        iter: RangeParIter,
+        identity: ID,
+        fold_op: F,
+    }
+
+    impl<ID, F> RangeFold<ID, F> {
+        /// Combine the per-chunk accumulators with `op`, in chunk order.
+        pub fn reduce<T, ID2, OP>(self, identity: ID2, op: OP) -> T
+        where
+            T: Send,
+            ID: Fn() -> T + Sync,
+            F: Fn(T, usize) -> T + Sync,
+            ID2: Fn() -> T + Sync,
+            OP: Fn(T, T) -> T + Sync,
+        {
+            let start = self.iter.range.start;
+            let make = &self.identity;
+            let fold_op = &self.fold_op;
+            let partials = super::run_chunked(self.iter.range.len(), self.iter.min_len, |_, r| {
+                r.fold(make(), |acc, i| fold_op(acc, start + i))
+            });
+            partials.into_iter().fold(identity(), op)
+        }
+    }
 }
 
 /// The customary glob import.
 pub mod prelude {
-    pub use crate::slice::ParallelSliceMut;
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -264,5 +579,100 @@ mod tests {
             a + b
         });
         assert_eq!(r, 3);
+    }
+
+    #[test]
+    fn join_propagates_thread_cap() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let (a, b) = pool.install(|| join(current_num_threads, current_num_threads));
+        assert_eq!(b, 3);
+        // The forked side sees the same advisory cap (may be clamped to
+        // hardware parallelism, like the inline side).
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_map_sum_matches_serial() {
+        let n = 100_001usize;
+        let par: u64 = (0..n)
+            .into_par_iter()
+            .with_min_len(1000)
+            .map(|i| (i as u64).wrapping_mul(2654435761) % 97)
+            .sum();
+        let ser: u64 = (0..n)
+            .map(|i| (i as u64).wrapping_mul(2654435761) % 97)
+            .sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn range_sum_is_thread_count_independent() {
+        let total = |threads: usize| -> i64 {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                (0..50_000)
+                    .into_par_iter()
+                    .with_min_len(64)
+                    .map(|i| i as i64 % 13 - 6)
+                    .sum()
+            })
+        };
+        let t1 = total(1);
+        assert_eq!(t1, total(2));
+        assert_eq!(t1, total(7));
+    }
+
+    #[test]
+    fn range_fold_reduce_accumulates_vectors() {
+        // Histogram via fold/reduce — the part_weights access pattern.
+        let hist: Vec<u64> = (0..9999usize)
+            .into_par_iter()
+            .with_min_len(100)
+            .fold(
+                || vec![0u64; 7],
+                |mut acc, i| {
+                    acc[i % 7] += 1;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 7],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(hist.iter().sum::<u64>(), 9999);
+        assert_eq!(hist[0], 1429); // ceil(9999/7)
+    }
+
+    #[test]
+    fn range_reduce_max() {
+        let m = (0..12345usize)
+            .into_par_iter()
+            .with_min_len(10)
+            .map(|i| (i * 7919) % 10007)
+            .reduce(|| 0usize, usize::max);
+        let ser = (0..12345usize).map(|i| (i * 7919) % 10007).max().unwrap();
+        assert_eq!(m, ser);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let data: Vec<u32> = (0..10_000).collect();
+        let sum: u64 = data
+            .par_chunks(333)
+            .map(|_, ch| ch.iter().map(|&x| x as u64).sum::<u64>())
+            .sum();
+        assert_eq!(sum, 10_000u64 * 9_999 / 2);
+        // Chunk indices line up with offsets.
+        data.par_chunks(333).for_each(|ci, ch| {
+            assert_eq!(ch[0] as usize, ci * 333);
+        });
     }
 }
