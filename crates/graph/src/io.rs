@@ -82,6 +82,11 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     };
     let mut b = GraphBuilder::with_capacity(n, m);
     let mut vwgt: Vec<Wgt> = Vec::with_capacity(if has_vwgt { n } else { 0 });
+    // Weights seen on the lower endpoint's line, awaiting their mirror on
+    // the higher endpoint's line (BTreeMap so the first error reported for
+    // an unmirrored edge is the smallest offending pair).
+    let mut pending: std::collections::BTreeMap<(Vid, Vid), Vec<Wgt>> =
+        std::collections::BTreeMap::new();
     let mut v = 0 as Vid;
     for line in lines {
         let line = line?;
@@ -123,15 +128,58 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
                 1
             };
             let u = (u - 1) as Vid;
-            // Each undirected edge appears on both endpoint lines; keep one.
-            if v <= u {
-                b.add_weighted_edge(v, u, w);
+            // Each undirected edge must appear on both endpoint lines with
+            // the same weight. The lower endpoint's copy is held pending
+            // (as a weight multiset, to tolerate parallel entries); the
+            // higher endpoint's copy must cancel one pending weight.
+            if u == v {
+                return parse_err(format!("self-loop on vertex {}", v + 1));
+            } else if v < u {
+                pending.entry((v, u)).or_default().push(w);
+            } else {
+                let slot = pending.get_mut(&(u, v));
+                let Some(ws) = slot.filter(|ws| !ws.is_empty()) else {
+                    return parse_err(format!(
+                        "edge ({}, {}) appears on vertex {}'s line but not on vertex {}'s line",
+                        u + 1,
+                        v + 1,
+                        v + 1,
+                        u + 1
+                    ));
+                };
+                match ws.iter().position(|&pw| pw == w) {
+                    Some(pos) => {
+                        ws.swap_remove(pos);
+                        b.add_weighted_edge(u, v, w);
+                    }
+                    None => {
+                        return parse_err(format!(
+                            "edge ({}, {}) has weight {} on vertex {}'s line but {} on vertex {}'s line",
+                            u + 1,
+                            v + 1,
+                            ws[0],
+                            u + 1,
+                            w,
+                            v + 1
+                        ))
+                    }
+                }
             }
         }
         v += 1;
     }
     if (v as usize) < n {
         return parse_err(format!("only {v} of {n} vertex lines present"));
+    }
+    if let Some(((a, b_), ws)) = pending.iter().find(|(_, ws)| !ws.is_empty()) {
+        debug_assert!(!ws.is_empty());
+        return parse_err(format!(
+            "edge ({}, {}) appears on vertex {}'s line but not on vertex {}'s line",
+            a + 1,
+            b_ + 1,
+            a + 1,
+            b_ + 1
+        ));
     }
     if has_vwgt {
         b.set_vertex_weights(vwgt);
@@ -171,10 +219,23 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     if !lower.starts_with("%%matrixmarket") {
         return parse_err("missing MatrixMarket banner");
     }
-    if !lower.contains("coordinate") {
+    // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() < 5 {
+        return parse_err("banner must be `%%MatrixMarket matrix coordinate <field> <symmetry>`");
+    }
+    if tokens[2] != "coordinate" {
         return parse_err("only coordinate format supported");
     }
-    let pattern = lower.contains("pattern");
+    let pattern = tokens[3] == "pattern";
+    // `symmetric` variants store each off-diagonal entry once (lower
+    // triangle); `general` stores both (i,j) and (j,i), which must fold to
+    // ONE unit edge — not two, which would double every edge weight.
+    let symmetric = match tokens[4] {
+        "general" => false,
+        "symmetric" | "skew-symmetric" | "hermitian" => true,
+        other => return parse_err(format!("unknown symmetry `{other}`")),
+    };
     let mut size_line = None;
     for line in lines.by_ref() {
         let line = line?;
@@ -203,6 +264,10 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
         return parse_err("matrix must be square to define a graph");
     }
     let mut b = GraphBuilder::with_capacity(rows, nnz);
+    // For `general` storage the structurally-mirrored entries (i,j)/(j,i)
+    // describe the SAME undirected edge; collect normalized pairs and add
+    // each distinct one once.
+    let mut general_pairs: Vec<(Vid, Vid)> = Vec::new();
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
@@ -227,12 +292,22 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
             return parse_err("index out of range");
         }
         if i != j {
-            b.add_edge((i - 1) as Vid, (j - 1) as Vid);
+            let (a, b_) = ((i - 1) as Vid, (j - 1) as Vid);
+            if symmetric {
+                b.add_edge(a, b_);
+            } else {
+                general_pairs.push((a.min(b_), a.max(b_)));
+            }
         }
         seen += 1;
     }
     if seen != nnz {
         return parse_err(format!("header claims {nnz} entries, found {seen}"));
+    }
+    general_pairs.sort_unstable();
+    general_pairs.dedup();
+    for (a, b_) in general_pairs {
+        b.add_edge(a, b_);
     }
     Ok(b.build())
 }
@@ -335,7 +410,85 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate pattern general\n\
                     2 2 2\n1 2\n2 1\n";
         let g = read_matrix_market(text.as_bytes()).unwrap();
-        assert_eq!(g.m(), 1); // duplicate (1,2)/(2,1) folded
+        assert_eq!(g.m(), 1); // duplicate (1,2)/(2,1) folded...
+        assert_eq!(g.edge_weights(0), &[1]); // ...to ONE unit edge, not weight 2
+    }
+
+    #[test]
+    fn general_and_symmetric_encodings_read_identically() {
+        // The same 4-vertex path + chord, stored both ways. `general` lists
+        // every off-diagonal nonzero twice; `symmetric` lists the lower
+        // triangle once. Both must produce the identical CsrGraph.
+        let general = "%%MatrixMarket matrix coordinate real general\n\
+                       4 4 12\n\
+                       1 2 1.0\n2 1 1.0\n\
+                       2 3 1.0\n3 2 1.0\n\
+                       3 4 1.0\n4 3 1.0\n\
+                       1 4 1.0\n4 1 1.0\n\
+                       1 1 2.0\n2 2 2.0\n3 3 2.0\n4 4 2.0\n";
+        let symmetric = "%%MatrixMarket matrix coordinate real symmetric\n\
+                         4 4 8\n\
+                         2 1 1.0\n3 2 1.0\n4 3 1.0\n4 1 1.0\n\
+                         1 1 2.0\n2 2 2.0\n3 3 2.0\n4 4 2.0\n";
+        let gg = read_matrix_market(general.as_bytes()).unwrap();
+        let gs = read_matrix_market(symmetric.as_bytes()).unwrap();
+        assert_eq!(gg.m(), 4);
+        assert_eq!(gg, gs);
+        assert!(gg.edge_weights(0).iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn mm_rejects_unknown_symmetry() {
+        let text = "%%MatrixMarket matrix coordinate pattern banana\n2 2 1\n1 2\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn mm_rejects_short_banner() {
+        let text = "%%MatrixMarket matrix coordinate\n2 2 1\n1 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn chaco_rejects_self_loop() {
+        // Vertex 2's line lists vertex 2 itself.
+        let text = "3 3\n2 3\n1 2 3\n1 2\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+        assert!(err.to_string().contains('2'), "{err}");
+    }
+
+    #[test]
+    fn chaco_rejects_asymmetric_adjacency() {
+        // Edge (1,3) appears on vertex 1's line only; header says 2 edges
+        // but the file is simply inconsistent, and the error must name the
+        // unmirrored pair rather than a misleading edge-count mismatch.
+        let text = "3 2\n2 3\n1\n\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(1, 3)"), "{msg}");
+        assert!(!msg.contains("header claims"), "{msg}");
+    }
+
+    #[test]
+    fn chaco_rejects_missing_mirror_direction() {
+        // Vertex 3's line claims an edge to 1 that vertex 1 never listed.
+        let text = "3 2\n2\n1 3\n2 1\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(1, 3)"), "{msg}");
+        assert!(msg.contains("vertex 1's line"), "{msg}");
+    }
+
+    #[test]
+    fn chaco_rejects_mismatched_edge_weights() {
+        // Edge (1,2) has weight 7 on vertex 1's line, 9 on vertex 2's.
+        let text = "2 1 1\n2 7\n1 9\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(1, 2)"), "{msg}");
+        assert!(msg.contains('7') && msg.contains('9'), "{msg}");
     }
 
     #[test]

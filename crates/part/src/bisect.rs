@@ -213,7 +213,7 @@ pub(crate) fn bisect_targets_branch(
 
     // Refine the coarsest-level partition, then uncoarsen level by level.
     let t = Instant::now();
-    let mut state = BisectState::new(h.coarsest(), coarse_part);
+    let mut state = BisectState::with_threads(h.coarsest(), coarse_part, cfg.threads);
     refine_level_recorded(&mut state, &bt, cfg, n, trace, branch, h.levels() - 1);
     let d = t.elapsed();
     times.refine += d;
@@ -223,7 +223,7 @@ pub(crate) fn bisect_targets_branch(
     for level in (0..h.levels() - 1).rev() {
         let t = Instant::now();
         let fine_part = h.project(level, &part);
-        let mut state = BisectState::new(&h.graphs[level], fine_part);
+        let mut state = BisectState::with_threads(&h.graphs[level], fine_part, cfg.threads);
         let d = t.elapsed();
         times.project += d;
         trace.add_time(SPAN_PROJECT, d);
@@ -234,7 +234,7 @@ pub(crate) fn bisect_targets_branch(
         trace.add_time(SPAN_REFINE, d);
         part = std::mem::take(&mut state.part);
     }
-    let final_state = BisectState::new(g, part);
+    let final_state = BisectState::with_threads(g, part, cfg.threads);
     BisectionResult {
         cut: final_state.cut,
         pwgts: final_state.pwgts,

@@ -156,7 +156,8 @@ pub struct MlConfig {
     pub hybrid_boundary_frac: f64,
     /// RNG seed (the paper fixes its seed for all experiments).
     pub seed: u64,
-    /// Worker threads for the parallel coarsening/metric kernels: `0`
+    /// Worker threads for the parallel coarsening, uncoarsening
+    /// (projection, refinement-state, k-way sweep) and metric kernels: `0`
     /// follows the ambient rayon fan-out (`ThreadPool::install` caps it),
     /// any other value forces exactly that many shards. Results are
     /// bit-identical for every value — the kernels are deterministic by

@@ -1,43 +1,96 @@
-//! Direct k-way greedy refinement — the extension the paper's conclusion
-//! points toward (and which became the k-way refinement of the authors'
-//! follow-up work): instead of only refining each bisection in isolation,
-//! sweep the *final* k-way partition, moving boundary vertices to whichever
-//! adjacent part reduces the cut most, under the balance constraint.
+//! Direct k-way refinement — the extension the paper's conclusion points
+//! toward (and which became the k-way refinement of the authors' follow-up
+//! work): instead of only refining each bisection in isolation, sweep the
+//! *final* k-way partition, moving boundary vertices to whichever adjacent
+//! part reduces the cut most, under the balance constraint.
 //!
-//! Recursive bisection locks earlier cuts; a k-way sweep can trade edges
-//! across sibling parts and typically shaves a few percent off the cut.
+//! # Round-based parallel kernel (determinism contract)
+//!
+//! The sweep runs as synchronized *propose/commit rounds* over vertex-range
+//! shards, mirroring the matching handshake of `matching.rs`:
+//!
+//! 1. **Propose** — every boundary vertex computes, in parallel, its best
+//!    legal move against a *frozen* snapshot of the partition and part
+//!    weights: maximal connectivity gain, ties toward the lighter part,
+//!    destinations over the balance bound excluded.
+//! 2. **Resolve** — a proposer commits only if it beats every proposing
+//!    neighbor under the strict key `(gain, seeded rank)` (ranks come from
+//!    a seeded random permutation, so the order is total). Winners form an
+//!    independent set in the conflict graph, which means no winner's
+//!    neighborhood changes this round — every committed gain is *exact*
+//!    and the cut never increases.
+//! 3. **Commit** — winners are bucketed by destination part in vertex
+//!    order; each part accepts its candidates best-first while reserving
+//!    vertex weight from its budget slot (`ub − pwgt`) with the same CAS
+//!    pattern as the matching claim phase. Each budget slot is owned by
+//!    exactly one bucket, so every reservation is conflict-free and the
+//!    accepted set is schedule-independent. Rejected and losing vertices
+//!    simply re-propose next round against the updated snapshot.
+//!
+//! The result is a pure function of `(graph, partition, k, options.seed)`:
+//! any thread count produces the bit-identical refined partition. Each
+//! round is `O(n + m)`; the globally maximal proposer always wins and
+//! always fits its (snapshot-legal) budget, so every round with proposals
+//! commits at least one move.
 
 use crate::bisect::PhaseTimes;
 use crate::config::MlConfig;
 use crate::kway::{kway_partition_traced, KwayResult};
-use crate::metrics::edge_cut_kway;
+use crate::matching::{resolve_shards, shard_bounds};
+use crate::metrics::{edge_cut_kway, part_weights};
 use mlgp_graph::rng::{random_order, seeded};
 use mlgp_graph::{CsrGraph, Vid, Wgt};
 use mlgp_trace::{Event, Trace, SPAN_REFINE};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 
-/// Options for the k-way sweep.
+/// Sentinel for "no proposal this round".
+const NONE: u32 = u32::MAX;
+
+/// Options for the round-based k-way sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct KwayRefineOptions {
-    /// Maximum sweeps over the boundary.
+    /// Maximum propose/commit rounds.
     pub max_passes: usize,
     /// Per-part weight may not exceed `imbalance ×` the average.
     pub imbalance: f64,
-    /// Seed for the sweep orders.
+    /// Seed for the rank permutation (the commit tie-breaker).
     pub seed: u64,
+    /// Worker threads (`0` = the ambient rayon fan-out). The refined
+    /// partition is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for KwayRefineOptions {
     fn default() -> Self {
         Self {
-            max_passes: 8,
+            max_passes: 24,
             imbalance: 1.03,
             seed: 0x6b77,
+            threads: 0,
         }
     }
 }
 
-/// Greedily refine a k-way partition in place. Returns the resulting
-/// edge-cut. Runs in `O(passes · (n + m))`.
+/// Telemetry from one run of the round-based k-way refinement kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KwayRefineStats {
+    /// Propose/commit rounds executed.
+    pub rounds: usize,
+    /// Move proposals across all rounds.
+    pub proposals: usize,
+    /// Proposals dropped because an adjacent proposer had a higher
+    /// `(gain, rank)` key.
+    pub conflicts: usize,
+    /// Round winners rejected because their destination's weight budget
+    /// was exhausted.
+    pub balance_rejects: usize,
+    /// Moves committed.
+    pub moves: usize,
+}
+
+/// Refine a k-way partition in place with the round-based kernel. Returns
+/// the resulting edge-cut.
 pub fn kway_refine_greedy(
     g: &CsrGraph,
     part: &mut [u32],
@@ -47,8 +100,8 @@ pub fn kway_refine_greedy(
     kway_refine_greedy_traced(g, part, k, opts, &Trace::disabled())
 }
 
-/// [`kway_refine_greedy`] with telemetry: records one `kway_sweep` event
-/// summarizing the sweep (passes, moves, cut before/after).
+/// [`kway_refine_greedy`] with telemetry: one `kway_round` event per round
+/// plus a `kway_sweep` summary and workspace counters.
 pub fn kway_refine_greedy_traced(
     g: &CsrGraph,
     part: &mut [u32],
@@ -56,95 +109,260 @@ pub fn kway_refine_greedy_traced(
     opts: &KwayRefineOptions,
     trace: &Trace,
 ) -> Wgt {
+    kway_refine_stats(g, part, k, opts, trace).0
+}
+
+/// Per-shard kernel state: the contiguous vertex range one worker owns,
+/// with its connectivity scratch and per-round outputs.
+struct RefineShard {
+    lo: usize,
+    hi: usize,
+    /// Connectivity of the current vertex to each part, reset per vertex
+    /// via `touched`.
+    conn: Vec<Wgt>,
+    touched: Vec<u32>,
+    /// Proposals made this round by vertices of this shard.
+    proposals: usize,
+    /// Round winners of this shard, ascending by vertex id.
+    winners: Vec<(Vid, Wgt)>,
+}
+
+/// [`kway_refine_greedy_traced`] returning the kernel telemetry alongside
+/// the final cut (used by the scaling bench and the determinism suite).
+pub fn kway_refine_stats(
+    g: &CsrGraph,
+    part: &mut [u32],
+    k: usize,
+    opts: &KwayRefineOptions,
+    trace: &Trace,
+) -> (Wgt, KwayRefineStats) {
     assert_eq!(part.len(), g.n());
     let n = g.n();
+    let mut stats = KwayRefineStats::default();
     if k <= 1 || n == 0 {
-        return 0;
+        return (0, stats);
     }
     let cut_before = if trace.is_enabled() {
         edge_cut_kway(g, part)
     } else {
         0
     };
-    let mut total_moves = 0usize;
-    let mut passes = 0usize;
-    let mut pwgts = vec![0 as Wgt; k];
-    for v in 0..n {
-        pwgts[part[v] as usize] += g.vwgt()[v];
+    // Seeded rank permutation: the strict tie-breaker that makes the
+    // conflict order total (same role as the matching kernel's ranks).
+    let mut rng = seeded(opts.seed);
+    let order = random_order(&mut rng, n);
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
     }
+    let mut pwgts = part_weights(g, part, k);
     let total: Wgt = pwgts.iter().sum();
     let avg = total as f64 / k as f64;
     let ub = (avg * opts.imbalance).ceil() as Wgt;
-    let mut rng = seeded(opts.seed);
-    // Scratch: connectivity of the current vertex to each part, reset
-    // per-vertex via the touched list.
-    let mut conn = vec![0 as Wgt; k];
-    let mut touched: Vec<u32> = Vec::with_capacity(16);
-    for _pass in 0..opts.max_passes.max(1) {
-        passes += 1;
-        let order = random_order(&mut rng, n);
-        let mut moves = 0usize;
-        for &v in &order {
-            let home = part[v as usize] as usize;
-            // Compute connectivity to adjacent parts.
-            touched.clear();
-            let mut is_boundary = false;
-            for (u, w) in g.adj(v) {
-                let pu = part[u as usize] as usize;
-                if conn[pu] == 0 {
-                    touched.push(pu as u32);
-                }
-                conn[pu] += w;
-                if pu != home {
-                    is_boundary = true;
-                }
-            }
-            if is_boundary {
-                let vw = g.vwgt()[v as usize];
-                let here = conn[home];
-                // Best legal destination: maximal connectivity gain,
-                // ties broken toward the lighter part.
-                let mut best: Option<(Wgt, Wgt, usize)> = None; // (gain, -pwgt, part)
-                for &t in &touched {
-                    let t = t as usize;
-                    if t == home || pwgts[t] + vw > ub {
+
+    let nshards = resolve_shards(n, opts.threads);
+    let mut shards: Vec<RefineShard> = shard_bounds(n, nshards)
+        .into_iter()
+        .map(|(lo, hi)| RefineShard {
+            lo,
+            hi,
+            conn: vec![0; k],
+            touched: Vec::with_capacity(16),
+            proposals: 0,
+            winners: Vec::new(),
+        })
+        .collect();
+    // Proposal slots, each written once per round by its owner shard.
+    let prop_to: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let prop_gain: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+
+    for round in 0..opts.max_passes.max(1) {
+        // Propose: best legal move per boundary vertex against the frozen
+        // (part, pwgts) snapshot.
+        {
+            let part_ro: &[u32] = part;
+            let pwgts_ro: &[Wgt] = &pwgts;
+            shards
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(1)
+                .for_each(|(_, sh)| {
+                    sh.proposals = 0;
+                    for v in sh.lo..sh.hi {
+                        let home = part_ro[v] as usize;
+                        sh.touched.clear();
+                        let mut is_boundary = false;
+                        for (u, w) in g.adj(v as Vid) {
+                            let pu = part_ro[u as usize] as usize;
+                            if sh.conn[pu] == 0 {
+                                sh.touched.push(pu as u32);
+                            }
+                            sh.conn[pu] += w;
+                            if pu != home {
+                                is_boundary = true;
+                            }
+                        }
+                        let mut best: Option<(Wgt, Wgt, usize)> = None; // (gain, -pwgt, part)
+                        if is_boundary {
+                            let vw = g.vwgt()[v];
+                            let here = sh.conn[home];
+                            for &t in &sh.touched {
+                                let t = t as usize;
+                                if t == home || pwgts_ro[t] + vw > ub {
+                                    continue;
+                                }
+                                let gain = sh.conn[t] - here;
+                                let key = (gain, -pwgts_ro[t]);
+                                if (gain > 0 || (gain == 0 && pwgts_ro[t] + vw < pwgts_ro[home]))
+                                    && best.is_none_or(|(bg, bw, _)| key > (bg, bw))
+                                {
+                                    best = Some((gain, -pwgts_ro[t], t));
+                                }
+                            }
+                        }
+                        for &t in &sh.touched {
+                            sh.conn[t as usize] = 0;
+                        }
+                        match best {
+                            Some((gain, _, to)) => {
+                                prop_gain[v].store(gain, Ordering::Relaxed);
+                                prop_to[v].store(to as u32, Ordering::Relaxed);
+                                sh.proposals += 1;
+                            }
+                            None => prop_to[v].store(NONE, Ordering::Relaxed),
+                        }
+                    }
+                });
+        }
+        let proposals: usize = shards.iter().map(|sh| sh.proposals).sum();
+        if proposals == 0 {
+            break;
+        }
+        // Resolve: a proposer wins iff it beats every proposing neighbor
+        // under the strict `(gain, rank)` key, so winners are independent
+        // and their snapshot gains are exact.
+        shards
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1)
+            .for_each(|(_, sh)| {
+                sh.winners.clear();
+                for v in sh.lo..sh.hi {
+                    if prop_to[v].load(Ordering::Relaxed) == NONE {
                         continue;
                     }
-                    let gain = conn[t] - here;
-                    let key = (gain, -pwgts[t]);
-                    if (gain > 0 || (gain == 0 && pwgts[t] + vw < pwgts[home]))
-                        && best.is_none_or(|(bg, bw, _)| key > (bg, bw))
-                    {
-                        best = Some((gain, -pwgts[t], t));
+                    let gv = prop_gain[v].load(Ordering::Relaxed);
+                    let kv = (gv, rank[v]);
+                    let mut wins = true;
+                    for &u in g.neighbors(v as Vid) {
+                        if prop_to[u as usize].load(Ordering::Relaxed) == NONE {
+                            continue;
+                        }
+                        if (
+                            prop_gain[u as usize].load(Ordering::Relaxed),
+                            rank[u as usize],
+                        ) > kv
+                        {
+                            wins = false;
+                            break;
+                        }
+                    }
+                    if wins {
+                        sh.winners.push((v as Vid, gv));
                     }
                 }
-                if let Some((_, _, to)) = best {
-                    pwgts[home] -= vw;
-                    pwgts[to] += vw;
-                    part[v as usize] = to as u32;
-                    moves += 1;
-                }
-            }
-            for &t in &touched {
-                conn[t as usize] = 0;
+            });
+        // Commit: bucket winners by destination in vertex order, then each
+        // part accepts best-first while CAS-reserving from its own budget
+        // slot (single owner per slot → deterministic greedy acceptance).
+        let mut buckets: Vec<Vec<(Vid, Wgt)>> = vec![Vec::new(); k];
+        let mut winners_total = 0usize;
+        for sh in &shards {
+            for &(v, gain) in &sh.winners {
+                buckets[prop_to[v as usize].load(Ordering::Relaxed) as usize].push((v, gain));
+                winners_total += 1;
             }
         }
-        total_moves += moves;
+        let budget: Vec<AtomicI64> = pwgts.iter().map(|&w| AtomicI64::new(ub - w)).collect();
+        {
+            let rank_ro: &[u32] = &rank;
+            buckets
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(1)
+                .for_each(|(p, bucket)| {
+                    bucket.sort_unstable_by(|&(va, ga), &(vb, gb)| {
+                        (gb, rank_ro[vb as usize]).cmp(&(ga, rank_ro[va as usize]))
+                    });
+                    bucket.retain(|&(v, _)| {
+                        let vw = g.vwgt()[v as usize];
+                        loop {
+                            let cur = budget[p].load(Ordering::Relaxed);
+                            if cur < vw {
+                                return false;
+                            }
+                            if budget[p]
+                                .compare_exchange(
+                                    cur,
+                                    cur - vw,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                return true;
+                            }
+                        }
+                    });
+                });
+        }
+        // Apply the accepted moves (disjoint vertices; serial and cheap).
+        let mut moves = 0usize;
+        for (p, bucket) in buckets.iter().enumerate() {
+            for &(v, _) in bucket {
+                let vw = g.vwgt()[v as usize];
+                pwgts[part[v as usize] as usize] -= vw;
+                pwgts[p] += vw;
+                part[v as usize] = p as u32;
+                moves += 1;
+            }
+        }
+        stats.rounds += 1;
+        stats.proposals += proposals;
+        stats.conflicts += proposals - winners_total;
+        stats.balance_rejects += winners_total - moves;
+        stats.moves += moves;
+        trace.record(|| Event::KwayRound {
+            round,
+            proposals,
+            conflicts: proposals - winners_total,
+            balance_rejects: winners_total - moves,
+            moves,
+        });
         if moves == 0 {
             break;
         }
     }
+    if trace.is_enabled() {
+        trace.count("kwayref_rounds", stats.rounds as u64);
+        trace.count("kwayref_proposals", stats.proposals as u64);
+        trace.count("kwayref_conflicts", stats.conflicts as u64);
+        trace.count("kwayref_balance_rejects", stats.balance_rejects as u64);
+        trace.count("kwayref_moves", stats.moves as u64);
+    }
     let cut_after = edge_cut_kway(g, part);
     trace.record(|| Event::KwaySweep {
-        passes,
-        moves: total_moves,
+        passes: stats.rounds,
+        moves: stats.moves,
         cut_before,
         cut_after,
     });
-    cut_after
+    (cut_after, stats)
 }
 
-/// [`kway_partition`] followed by the greedy k-way sweep.
+/// [`kway_partition`] followed by the round-based k-way sweep.
+///
+/// [`kway_partition`]: crate::kway::kway_partition
 pub fn kway_partition_refined(g: &CsrGraph, k: usize, cfg: &MlConfig) -> KwayResult {
     kway_partition_refined_traced(g, k, cfg, &Trace::disabled())
 }
@@ -161,6 +379,7 @@ pub fn kway_partition_refined_traced(
     let opts = KwayRefineOptions {
         imbalance: cfg.imbalance,
         seed: cfg.seed ^ 0x5eed,
+        threads: cfg.threads,
         ..KwayRefineOptions::default()
     };
     let t = std::time::Instant::now();
@@ -304,5 +523,62 @@ mod tests {
             part
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_refinement() {
+        let g = tri_mesh2d(26, 22, 3);
+        let base = kway_partition(&g, 8, &MlConfig::default()).part;
+        let run = |threads: usize| {
+            let mut part = base.clone();
+            let (cut, stats) = kway_refine_stats(
+                &g,
+                &mut part,
+                8,
+                &KwayRefineOptions {
+                    threads,
+                    ..KwayRefineOptions::default()
+                },
+                &Trace::disabled(),
+            );
+            (part, cut, stats.rounds, stats.moves)
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn winners_are_exact_so_cut_drops_by_committed_gains() {
+        // The independence of round winners makes every committed gain
+        // exact: the cut after each round equals the cut before minus the
+        // sum of committed gains. Verify via the per-round trace events.
+        let g = tri_mesh2d(18, 18, 4);
+        let mut part = kway_partition(&g, 6, &MlConfig::default()).part;
+        // Perturb so the sweep has real work.
+        for (i, p) in part.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *p = (i % 6) as u32;
+            }
+        }
+        let trace = Trace::enabled();
+        let before = edge_cut_kway(&g, &part);
+        let after =
+            kway_refine_greedy_traced(&g, &mut part, 6, &KwayRefineOptions::default(), &trace);
+        assert!(after <= before);
+        let events = trace.events();
+        let rounds = events
+            .iter()
+            .filter(|e| matches!(e, Event::KwayRound { .. }))
+            .count();
+        assert!(rounds >= 1);
+        let Some(Event::KwaySweep { passes, .. }) = events
+            .iter()
+            .rfind(|e| matches!(e, Event::KwaySweep { .. }))
+        else {
+            panic!("no sweep summary event");
+        };
+        assert_eq!(*passes, rounds);
     }
 }

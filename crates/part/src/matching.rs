@@ -140,7 +140,7 @@ const NONE: u32 = u32::MAX;
 /// Below this vertex count the auto-threaded kernel stays on one shard
 /// (spawn overhead would dominate). Explicit thread requests are honored
 /// exactly, whatever the size — the result is identical either way.
-const MIN_PARALLEL_N: usize = 8192;
+pub(crate) const MIN_PARALLEL_N: usize = 8192;
 
 /// Hard bound on handshake rounds before the sequential sweep takes over.
 fn max_rounds(n: usize) -> usize {

@@ -112,10 +112,11 @@ pub fn fm_pass_stats(
     // moved, or rejected for balance.
     let mut locked = vec![false; n];
     let mut queues = [GainQueue::with_capacity(64), GainQueue::with_capacity(64)];
-    for v in 0..n as Vid {
-        if !boundary_only || state.is_boundary(v) {
-            queues[state.part[v as usize] as usize].push(v, state.gain(v));
-        }
+    // The eligible set comes from the parallel boundary scan; it preserves
+    // ascending vertex order, so the queues fill exactly as the serial
+    // `0..n` filter would.
+    for v in state.movable_vertices(boundary_only) {
+        queues[state.part[v as usize] as usize].push(v, state.gain(v));
     }
     let mut log: Vec<Vid> = Vec::new();
     let mut best = (start_balanced, start_cut);

@@ -7,7 +7,9 @@
 //! refinement algorithms operate on this state through `move_vertex`, which
 //! maintains every quantity in `O(deg v)`.
 
+use crate::matching::{resolve_shards, shard_bounds, MIN_PARALLEL_N};
 use mlgp_graph::{CsrGraph, Vid, Wgt};
+use rayon::prelude::*;
 
 /// Mutable state of a 2-way partition under refinement.
 pub struct BisectState<'g> {
@@ -25,24 +27,106 @@ pub struct BisectState<'g> {
 }
 
 impl<'g> BisectState<'g> {
-    /// Build the state for an existing partition in `O(n + m)`.
+    /// Build the state for an existing partition in `O(n + m)` work,
+    /// auto-threaded over the ambient rayon fan-out.
     pub fn new(g: &'g CsrGraph, part: Vec<u8>) -> Self {
+        Self::with_threads(g, part, 0)
+    }
+
+    /// [`BisectState::new`] with an explicit worker-thread request (`0` =
+    /// ambient). The construction shards the vertex range; every per-vertex
+    /// quantity is computed independently and the shard partials (part
+    /// weights, cut) are combined in shard order, so the state is
+    /// bit-identical for every thread count.
+    pub fn with_threads(g: &'g CsrGraph, part: Vec<u8>, threads: usize) -> Self {
         assert_eq!(part.len(), g.n());
+        let n = g.n();
+        let nshards = resolve_shards(n, threads);
+        if nshards <= 1 {
+            return Self::build_serial(g, part);
+        }
+        struct Shard {
+            lo: usize,
+            hi: usize,
+            ed: Vec<Wgt>,
+            id: Vec<Wgt>,
+            pwgts: [Wgt; 2],
+            cut: Wgt,
+        }
+        let part_ro: &[u8] = &part;
+        let mut shards: Vec<Shard> = shard_bounds(n, nshards)
+            .into_iter()
+            .map(|(lo, hi)| Shard {
+                lo,
+                hi,
+                ed: Vec::with_capacity(hi - lo),
+                id: Vec::with_capacity(hi - lo),
+                pwgts: [0, 0],
+                cut: 0,
+            })
+            .collect();
+        shards
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(1)
+            .for_each(|(_, sh)| {
+                for v in sh.lo..sh.hi {
+                    let pv = part_ro[v];
+                    debug_assert!(pv <= 1);
+                    sh.pwgts[pv as usize] += g.vwgt()[v];
+                    let (mut ed_v, mut id_v) = (0, 0);
+                    for (u, w) in g.adj(v as Vid) {
+                        if part_ro[u as usize] == pv {
+                            id_v += w;
+                        } else {
+                            ed_v += w;
+                            if u as usize > v {
+                                sh.cut += w;
+                            }
+                        }
+                    }
+                    sh.ed.push(ed_v);
+                    sh.id.push(id_v);
+                }
+            });
+        let mut ed = Vec::with_capacity(n);
+        let mut id = Vec::with_capacity(n);
+        let mut pwgts = [0, 0];
+        let mut cut = 0;
+        for sh in &mut shards {
+            ed.append(&mut sh.ed);
+            id.append(&mut sh.id);
+            pwgts[0] += sh.pwgts[0];
+            pwgts[1] += sh.pwgts[1];
+            cut += sh.cut;
+        }
+        Self {
+            g,
+            part,
+            pwgts,
+            ed,
+            id,
+            cut,
+        }
+    }
+
+    /// Serial construction (the single-shard fast path).
+    fn build_serial(g: &'g CsrGraph, part: Vec<u8>) -> Self {
         let n = g.n();
         let mut pwgts = [0, 0];
         let mut ed = vec![0; n];
         let mut id = vec![0; n];
         let mut cut = 0;
-        for v in 0..n as Vid {
-            let pv = part[v as usize];
+        for v in 0..n {
+            let pv = part[v];
             debug_assert!(pv <= 1);
-            pwgts[pv as usize] += g.vwgt()[v as usize];
-            for (u, w) in g.adj(v) {
+            pwgts[pv as usize] += g.vwgt()[v];
+            for (u, w) in g.adj(v as Vid) {
                 if part[u as usize] == pv {
-                    id[v as usize] += w;
+                    id[v] += w;
                 } else {
-                    ed[v as usize] += w;
-                    if u > v {
+                    ed[v] += w;
+                    if u as usize > v {
                         cut += w;
                     }
                 }
@@ -76,11 +160,33 @@ impl<'g> BisectState<'g> {
         self.ed[v as usize] > 0 || self.g.degree(v) == 0
     }
 
-    /// Number of boundary vertices.
+    /// Number of boundary vertices (parallel chunk-ordered sum).
     pub fn boundary_count(&self) -> usize {
-        (0..self.g.n() as Vid)
-            .filter(|&v| self.is_boundary(v))
-            .count()
+        (0..self.g.n())
+            .into_par_iter()
+            .with_min_len(MIN_PARALLEL_N)
+            .map(|v| self.is_boundary(v as Vid) as usize)
+            .sum()
+    }
+
+    /// Vertices eligible for refinement seeding — all of them, or only the
+    /// boundary — in ascending vertex order. The scan runs as a parallel
+    /// fold whose chunk results are concatenated in chunk order, so the
+    /// list is identical to the serial `0..n` filter at any thread count.
+    pub fn movable_vertices(&self, boundary_only: bool) -> Vec<Vid> {
+        (0..self.g.n())
+            .into_par_iter()
+            .with_min_len(MIN_PARALLEL_N)
+            .fold(Vec::new, |mut acc: Vec<Vid>, v| {
+                if !boundary_only || self.is_boundary(v as Vid) {
+                    acc.push(v as Vid);
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
     }
 
     /// Move `v` to the other side, updating partition, weights, degrees and

@@ -12,7 +12,10 @@
 
 use mlgp_graph::generators::{powerlaw, tri_mesh2d};
 use mlgp_graph::rng::seeded;
-use mlgp_part::{bisect, coarsen, kway_partition, MatchingScheme, MlConfig};
+use mlgp_part::{
+    bisect, coarsen, kway_partition, kway_partition_refined, kway_refine_greedy, MatchingScheme,
+    MlConfig,
+};
 
 /// Thread counts under test: the ISSUE's {1, 2, 8} plus an optional
 /// `MLGP_THREADS` override from the CI matrix.
@@ -95,6 +98,58 @@ fn kway_is_bit_identical_across_thread_counts() {
         let r = kway_partition(&g, 8, &cfg_with(MatchingScheme::HeavyEdge, t));
         assert_eq!(r.edge_cut, reference.edge_cut, "cut differs at {t} threads");
         assert_eq!(r.part, reference.part, "partition differs at {t} threads");
+    }
+}
+
+#[test]
+fn refined_pipeline_is_bit_identical_across_thread_counts() {
+    // The full pipeline: coarsen → recursive bisection → round-based k-way
+    // refinement. `cfg.threads` now reaches the uncoarsening kernels
+    // (BisectState construction, FM queue seeding, projection, and the
+    // propose/commit sweep), so the end-to-end result must stay a pure
+    // function of (graph, config, seed).
+    let g = tri_mesh2d(32, 28, 6);
+    for scheme in [MatchingScheme::HeavyEdge, MatchingScheme::Random] {
+        let reference = kway_partition_refined(&g, 8, &cfg_with(scheme, 1));
+        for &t in &thread_counts()[1..] {
+            let r = kway_partition_refined(&g, 8, &cfg_with(scheme, t));
+            assert_eq!(
+                r.edge_cut, reference.edge_cut,
+                "{scheme:?}: refined cut differs at {t} threads"
+            );
+            assert_eq!(
+                r.part, reference.part,
+                "{scheme:?}: refined partition differs at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn kway_refine_kernel_is_bit_identical_across_thread_counts() {
+    // The round-based sweep in isolation, on a fixed damaged partition, at
+    // explicit shard counts (which the kernel honors even below its
+    // auto-parallel size floor).
+    let g = tri_mesh2d(30, 26, 7);
+    let base = kway_partition(&g, 8, &cfg_with(MatchingScheme::HeavyEdge, 1));
+    let run = |threads: usize| {
+        let mut part = base.part.clone();
+        // Damage the partition deterministically so rounds have real work.
+        for (i, p) in part.iter_mut().enumerate() {
+            if i % 13 == 0 {
+                *p = (i % 8) as u32;
+            }
+        }
+        let opts = mlgp_part::KwayRefineOptions {
+            threads,
+            ..Default::default()
+        };
+        let cut = kway_refine_greedy(&g, &mut part, 8, &opts);
+        (part, cut)
+    };
+    let reference = run(1);
+    for &t in &thread_counts()[1..] {
+        assert_eq!(run(t), reference, "refine kernel diverged at {t} threads");
     }
 }
 
