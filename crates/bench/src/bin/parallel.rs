@@ -10,7 +10,11 @@
 //! **per-phase table** for the full refined pipeline
 //! (`kway_partition_refined`), splitting coarsen vs init/refine/project
 //! (the paper's CTime vs ITime/RTime/PTime) so coarsening and
-//! uncoarsening scaling are visible separately.
+//! uncoarsening scaling are visible separately, and a **spectral/linalg
+//! section** (chunked-pairwise `dot`, row-sharded Laplacian SpMV, and a
+//! capped Lanczos solve) whose fingerprints hash the raw f64 bit
+//! patterns — the float kernels must match to the last ulp at every
+//! thread count.
 //!
 //! Because the kernels are deterministic by construction (same seed + any
 //! thread count → bit-identical output), the run doubles as an end-to-end
@@ -24,6 +28,7 @@
 use mlgp_bench::{finish_or_exit, timed, BenchOpts};
 use mlgp_graph::generators::tri_mesh2d;
 use mlgp_graph::rng::seeded;
+use mlgp_linalg::{lanczos_fiedler, vecops, LanczosOptions, Laplacian, SymOp};
 use mlgp_part::{
     coarsen, compute_matching_threads, contract_threads, edge_cut_kway, kway_partition_refined,
     metrics, part_weights, MatchingScheme, MlConfig, PhaseTimes,
@@ -200,6 +205,97 @@ fn main() {
             });
         }
         println!("{phase:<10} | {}", row.join(" "));
+    }
+    // Spectral/linalg strong scaling: the deterministic chunked-pairwise
+    // vector reductions, the row-sharded Laplacian SpMV, and a
+    // capped-iteration Lanczos solve on the same mesh. Fingerprints are
+    // FNV-1a over the f64 bit patterns, so any cross-thread divergence —
+    // even one ulp — fails the run.
+    println!("\nspectral/linalg kernels (deterministic chunked reductions):");
+    println!(
+        "{:<10} | {}",
+        "kernel",
+        THREADS.map(|t| format!("{t:>8} thr")).join(" ")
+    );
+    // Deterministic dense test vectors (no RNG: pure functions of index).
+    let x: Vec<f64> = (0..g.n())
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
+    let y: Vec<f64> = (0..g.n())
+        .map(|i| ((i * 40503 + 17) % 1000) as f64 / 250.0 - 2.0)
+        .collect();
+    // Repetition counts keep each cell in the tens-of-ms range at scale 1.
+    let dot_reps = 200usize;
+    let spmv_reps = 50usize;
+    for kernel in ["dot", "spmv", "lanczos"] {
+        let mut row = Vec::new();
+        let mut t1 = 0.0f64;
+        let mut reference: Option<u64> = None;
+        for &nt in &THREADS {
+            let (fp, secs) = match kernel {
+                "dot" => timed(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..dot_reps {
+                        acc ^= vecops::dot_threads(&x, &y, nt).to_bits();
+                    }
+                    fingerprint([acc, vecops::norm_threads(&x, nt).to_bits()].into_iter())
+                }),
+                "spmv" => timed(|| {
+                    let lap = Laplacian::with_threads(&g, nt);
+                    let mut out = vec![0.0f64; g.n()];
+                    for _ in 0..spmv_reps {
+                        lap.apply(&x, &mut out);
+                    }
+                    fingerprint(out.iter().map(|v| v.to_bits()))
+                }),
+                _ => timed(|| {
+                    // Capped Krylov budget: the bench measures kernel
+                    // throughput, not convergence, and keeps the cell
+                    // bounded on big --scale factors.
+                    let lap = Laplacian::with_threads(&g, nt);
+                    let r = lanczos_fiedler(
+                        &lap,
+                        &LanczosOptions {
+                            max_steps: 30,
+                            max_restarts: 1,
+                            tol: 1e-8,
+                            seed: SEED,
+                            threads: nt,
+                        },
+                    );
+                    fingerprint(
+                        r.vector
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .chain([r.lambda.to_bits(), r.matvecs as u64]),
+                    )
+                }),
+            };
+            if nt == 1 {
+                t1 = secs;
+            }
+            match reference {
+                None => reference = Some(fp),
+                Some(r) if r != fp => {
+                    deterministic = false;
+                    eprintln!("DETERMINISM VIOLATION: {kernel} differs at {nt} threads");
+                }
+                _ => {}
+            }
+            let speedup = t1 / secs;
+            row.push(format!("{:>6.3}s{:>5}", secs, format!("{speedup:.1}x")));
+            sink.row(|o| {
+                o.field_str("bench", "parallel");
+                o.field_str("kernel", kernel);
+                o.field_str("section", "spectral");
+                o.field_u64("threads", nt as u64);
+                o.field_f64("secs", secs);
+                o.field_f64("speedup", speedup);
+                o.field_u64("n", g.n() as u64);
+                o.field_u64("nnz", g.nnz() as u64);
+            });
+        }
+        println!("{kernel:<10} | {}", row.join(" "));
     }
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())

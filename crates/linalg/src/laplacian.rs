@@ -4,6 +4,8 @@
 //! adjacency matrix and `D` the diagonal of weighted degrees. The Fiedler
 //! vector is the eigenvector of the second-smallest eigenvalue of `L`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mlgp_graph::{CsrGraph, Vid};
 
 /// A symmetric linear operator `y = A x` on `R^n`.
@@ -15,24 +17,67 @@ pub trait SymOp {
 }
 
 /// Matrix-free weighted graph Laplacian.
+///
+/// The SpMV is sharded over vertex-row ranges — each `y[v]` depends only
+/// on row `v` of the CSR arrays, so the result is bit-identical at every
+/// fan-out. The [`Laplacian::with_threads`] knob caps the shard count
+/// (`0` = ambient rayon fan-out); every apply is tallied in the
+/// `spmv_calls` / `spmv_rows` telemetry counters (see
+/// [`Laplacian::spmv_calls`]) which the traced solver wrappers export as
+/// `spmv_*` trace counters.
 pub struct Laplacian<'a> {
     g: &'a CsrGraph,
     /// Cached weighted degrees (diagonal of `L`).
     deg: Vec<f64>,
+    /// Shard fan-out for `apply`/`rayleigh` (0 = ambient).
+    threads: usize,
+    /// Number of `apply` (SpMV) calls performed through this operator.
+    spmv_calls: AtomicU64,
+    /// Total rows (vertex equations) computed across all `apply` calls.
+    spmv_rows: AtomicU64,
 }
 
 impl<'a> Laplacian<'a> {
-    /// Wrap a graph; precomputes the degree diagonal.
+    /// Wrap a graph; precomputes the degree diagonal. Uses the ambient
+    /// rayon fan-out for the SpMV shards.
     pub fn new(g: &'a CsrGraph) -> Self {
+        Self::with_threads(g, 0)
+    }
+
+    /// [`Laplacian::new`] with an explicit shard fan-out (`0` = ambient,
+    /// `1` = serial, `n` = advisory `n` shards). Purely a speed knob —
+    /// the SpMV is row-sharded and bit-identical at every value.
+    pub fn with_threads(g: &'a CsrGraph, threads: usize) -> Self {
         let deg = (0..g.n() as Vid)
             .map(|v| g.weighted_degree(v) as f64)
             .collect();
-        Self { g, deg }
+        Self {
+            g,
+            deg,
+            threads,
+            spmv_calls: AtomicU64::new(0),
+            spmv_rows: AtomicU64::new(0),
+        }
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &CsrGraph {
         self.g
+    }
+
+    /// The configured shard fan-out (0 = ambient).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// SpMV calls performed so far ([`SymOp::apply`] invocations).
+    pub fn spmv_calls(&self) -> u64 {
+        self.spmv_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total vertex rows computed across all SpMV calls so far.
+    pub fn spmv_rows(&self) -> u64 {
+        self.spmv_rows.load(Ordering::Relaxed)
     }
 
     /// Weighted degree of vertex `v` (the diagonal entry `L[v][v]`).
@@ -46,22 +91,27 @@ impl<'a> Laplacian<'a> {
     }
 
     /// Rayleigh quotient `x' L x / x' x`, computed edge-wise for stability:
-    /// `x' L x = Σ_{(u,v) ∈ E} w_uv (x_u − x_v)²`.
+    /// `x' L x = Σ_{(u,v) ∈ E} w_uv (x_u − x_v)²`. Both reductions use the
+    /// deterministic chunked-pairwise tree (`vecops::chunked_reduce`), so
+    /// the value is identical at every thread count.
     pub fn rayleigh(&self, x: &[f64]) -> f64 {
-        let xx = crate::vecops::dot(x, x);
+        let xx = crate::vecops::dot_threads(x, x, self.threads);
         if xx == 0.0 {
             return 0.0;
         }
-        let mut num = 0.0;
-        for v in 0..self.g.n() as Vid {
-            let xv = x[v as usize];
-            for (u, w) in self.g.adj(v) {
-                if u > v {
-                    let d = xv - x[u as usize];
-                    num += w as f64 * d * d;
+        let num = crate::vecops::chunked_reduce(self.g.n(), self.threads, |lo, hi| {
+            let mut acc = 0.0;
+            for v in lo as Vid..hi as Vid {
+                let xv = x[v as usize];
+                for (u, w) in self.g.adj(v) {
+                    if u > v {
+                        let d = xv - x[u as usize];
+                        acc += w as f64 * d * d;
+                    }
                 }
             }
-        }
+            acc
+        });
         num / xx
     }
 }
@@ -77,6 +127,9 @@ impl SymOp for Laplacian<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.dim());
         debug_assert_eq!(y.len(), self.dim());
+        self.spmv_calls.fetch_add(1, Ordering::Relaxed);
+        self.spmv_rows
+            .fetch_add(self.dim() as u64, Ordering::Relaxed);
         let row = |v: Vid| -> f64 {
             let mut acc = self.deg[v as usize] * x[v as usize];
             for (u, w) in self.g.adj(v) {
@@ -84,7 +137,7 @@ impl SymOp for Laplacian<'_> {
             }
             acc
         };
-        if self.g.n() >= PAR_APPLY_THRESHOLD {
+        let shard = |y: &mut [f64]| {
             use rayon::prelude::*;
             y.par_iter_mut()
                 .enumerate()
@@ -92,6 +145,17 @@ impl SymOp for Laplacian<'_> {
                 .for_each(|(v, yv)| {
                     *yv = row(v as Vid);
                 });
+        };
+        if self.g.n() >= PAR_APPLY_THRESHOLD && self.threads != 1 {
+            if self.threads == 0 {
+                shard(y);
+            } else {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.threads)
+                    .build()
+                    .expect("advisory thread pool")
+                    .install(|| shard(y));
+            }
         } else {
             for v in 0..self.g.n() as Vid {
                 y[v as usize] = row(v);

@@ -28,12 +28,13 @@ pub use lanczos::{lanczos_fiedler, lanczos_fiedler_with_start, LanczosOptions, L
 pub use laplacian::{Laplacian, Shifted, SymOp};
 pub use minres::{minres, MinresOptions, MinresResult};
 pub use rqi::{rqi_refine, RqiOptions, RqiResult};
+pub use vecops::{chunked_reduce, with_fanout, REDUCTION_CHUNK};
 
 use mlgp_graph::CsrGraph;
 use mlgp_trace::{Event, Trace};
 
 /// [`lanczos_fiedler`] recording an `eigen` event (solver `"lanczos"`,
-/// matvec count, final residual) on `trace`.
+/// matvec count, final residual) and an `eigen_matvec` counter on `trace`.
 pub fn lanczos_fiedler_traced<O: SymOp>(
     op: &O,
     opts: &LanczosOptions,
@@ -46,11 +47,13 @@ pub fn lanczos_fiedler_traced<O: SymOp>(
         iters: r.matvecs,
         residual: r.residual,
     });
+    trace.count("eigen_matvec", r.matvecs as u64);
     r
 }
 
 /// [`minres`] recording an `eigen` event (solver `"minres"`, Krylov steps,
-/// final residual) on `trace`.
+/// final residual) and an `eigen_matvec` counter (one SpMV per step) on
+/// `trace`.
 pub fn minres_traced<O: SymOp>(
     op: &O,
     b: &[f64],
@@ -64,17 +67,21 @@ pub fn minres_traced<O: SymOp>(
         iters: r.iters,
         residual: r.residual,
     });
+    trace.count("eigen_matvec", r.iters as u64);
     r
 }
 
 /// [`rqi_refine`] recording an `eigen` event (solver `"rqi"`, outer
-/// iterations, final eigen-residual) on `trace`.
+/// iterations, final eigen-residual) on `trace`, plus the operator-level
+/// `spmv_calls`/`spmv_rows` deltas (RQI's matvecs hide inside the inner
+/// MINRES solves, so the Laplacian's own tally is the honest count).
 pub fn rqi_refine_traced(
     lap: &Laplacian<'_>,
     x0: &[f64],
     opts: &RqiOptions,
     trace: &Trace,
 ) -> RqiResult {
+    let (calls0, rows0) = (lap.spmv_calls(), lap.spmv_rows());
     let r = rqi_refine(lap, x0, opts);
     trace.record(|| Event::Eigen {
         solver: "rqi",
@@ -82,6 +89,9 @@ pub fn rqi_refine_traced(
         iters: r.outer_iters,
         residual: r.residual,
     });
+    trace.count("eigen_matvec", lap.spmv_calls() - calls0);
+    trace.count("spmv_calls", lap.spmv_calls() - calls0);
+    trace.count("spmv_rows", lap.spmv_rows() - rows0);
     r
 }
 
@@ -99,6 +109,19 @@ pub fn fiedler_vector(g: &CsrGraph, seed: u64) -> (f64, Vec<f64>) {
 /// reports solver `"dense-jacobi"` with zero iterations and residual — it
 /// is direct to machine precision).
 pub fn fiedler_vector_traced(g: &CsrGraph, seed: u64, trace: &Trace) -> (f64, Vec<f64>) {
+    fiedler_vector_threads_traced(g, seed, 0, trace)
+}
+
+/// [`fiedler_vector_traced`] with an explicit worker-thread fan-out for
+/// the Lanczos path (`0` = ambient rayon fan-out). Bit-identical results
+/// at every value; the Lanczos path additionally records `spmv_calls` /
+/// `spmv_rows` counters from the Laplacian's SpMV tally.
+pub fn fiedler_vector_threads_traced(
+    g: &CsrGraph,
+    seed: u64,
+    threads: usize,
+    trace: &Trace,
+) -> (f64, Vec<f64>) {
     assert!(g.n() >= 2);
     if g.n() <= DENSE_FIEDLER_LIMIT {
         let (lambda, vector) = fiedler_dense(g);
@@ -110,15 +133,18 @@ pub fn fiedler_vector_traced(g: &CsrGraph, seed: u64, trace: &Trace) -> (f64, Ve
         });
         (lambda, vector)
     } else {
-        let lap = Laplacian::new(g);
+        let lap = Laplacian::with_threads(g, threads);
         let r = lanczos_fiedler_traced(
             &lap,
             &LanczosOptions {
                 seed,
+                threads,
                 ..LanczosOptions::default()
             },
             trace,
         );
+        trace.count("spmv_calls", lap.spmv_calls());
+        trace.count("spmv_rows", lap.spmv_rows());
         (r.lambda, r.vector)
     }
 }

@@ -19,6 +19,10 @@ pub struct MinresOptions {
     /// Project every iterate off the constant vector. Required when solving
     /// shifted Laplacian systems restricted to the non-constant subspace.
     pub deflate: bool,
+    /// Worker threads for the vector kernels and SpMV (`0` = ambient
+    /// rayon fan-out). Bit-identical results at every value — the float
+    /// reductions are deterministic chunked-pairwise.
+    pub threads: usize,
 }
 
 impl Default for MinresOptions {
@@ -27,6 +31,7 @@ impl Default for MinresOptions {
             max_iters: 100,
             tol: 1e-8,
             deflate: false,
+            threads: 0,
         }
     }
 }
@@ -44,6 +49,10 @@ pub struct MinresResult {
 
 /// Solve `A x = b` for symmetric `A`.
 pub fn minres<O: SymOp>(op: &O, b: &[f64], opts: &MinresOptions) -> MinresResult {
+    crate::vecops::with_fanout(opts.threads, || minres_body(op, b, opts))
+}
+
+fn minres_body<O: SymOp>(op: &O, b: &[f64], opts: &MinresOptions) -> MinresResult {
     let n = op.dim();
     assert_eq!(b.len(), n);
     let mut x = vec![0.0; n];
@@ -202,6 +211,7 @@ mod tests {
                 max_iters: 500,
                 tol: 1e-10,
                 deflate: true,
+                ..Default::default()
             },
         );
         // Check true residual within the subspace.

@@ -20,6 +20,10 @@ pub struct RqiOptions {
     pub inner_iters: usize,
     /// Convergence: `‖Lx − ρx‖ ≤ tol · max_degree`.
     pub tol: f64,
+    /// Worker threads for the vector kernels, inner MINRES solves, and
+    /// SpMV (`0` = ambient rayon fan-out). Bit-identical results at every
+    /// value — all float reductions are deterministic chunked-pairwise.
+    pub threads: usize,
 }
 
 impl Default for RqiOptions {
@@ -28,6 +32,7 @@ impl Default for RqiOptions {
             max_outer: 10,
             inner_iters: 60,
             tol: 1e-6,
+            threads: 0,
         }
     }
 }
@@ -47,6 +52,10 @@ pub struct RqiResult {
 
 /// Refine `x0` toward the Fiedler pair of `lap`.
 pub fn rqi_refine(lap: &Laplacian<'_>, x0: &[f64], opts: &RqiOptions) -> RqiResult {
+    crate::vecops::with_fanout(opts.threads, || rqi_refine_body(lap, x0, opts))
+}
+
+fn rqi_refine_body(lap: &Laplacian<'_>, x0: &[f64], opts: &RqiOptions) -> RqiResult {
     let n = lap.dim();
     assert_eq!(x0.len(), n);
     let mut x = x0.to_vec();
@@ -82,6 +91,9 @@ pub fn rqi_refine(lap: &Laplacian<'_>, x0: &[f64], opts: &RqiOptions) -> RqiResu
                 max_iters: opts.inner_iters,
                 tol: 1e-10,
                 deflate: true,
+                // The outer with_fanout cap is already installed; inner
+                // solves follow ambient.
+                threads: 0,
             },
         );
         let mut y = solve.x;

@@ -1,70 +1,311 @@
-//! Dense vector kernels used by the iterative eigensolvers.
+//! Dense vector kernels used by the iterative eigensolvers, built on
+//! **deterministic chunked pairwise reductions**.
 //!
-//! Plain slice loops: these are memory-bound level-1 BLAS operations that
-//! LLVM auto-vectorizes; the eigensolver runtimes are dominated by the
-//! sparse matrix-vector products, not these.
+//! The determinism contract of the rest of the workspace (bit-identical
+//! output at any thread count for a fixed seed — DESIGN.md §10) only held
+//! for integer reductions until this module; floating-point addition is
+//! not associative, so naively parallelizing `dot`/`norm` would make the
+//! eigensolvers' results depend on the fan-out. Every reduction here is
+//! therefore computed the same way regardless of thread count:
+//!
+//! 1. the input is cut into fixed [`REDUCTION_CHUNK`]-element chunks
+//!    (the *data* decides the chunk layout, never the thread count);
+//! 2. each chunk is reduced serially (LLVM auto-vectorizes the inner
+//!    loops — these are memory-bound level-1 BLAS operations);
+//! 3. the per-chunk partials are combined by a **fixed-shape pairwise
+//!    tree** (split at `len / 2`, recurse), again independent of how many
+//!    threads produced them.
+//!
+//! The result differs from a naive left-to-right serial sum in the last
+//! ulps (pairwise summation also has *better* worst-case error: O(log n)
+//! vs O(n) ulp growth), but it is a pure function of the input — thread
+//! counts, pool caps, and scheduling cannot perturb it. Elementwise
+//! kernels (`axpy`, `scale`) are trivially deterministic and parallelize
+//! over disjoint ranges.
+//!
+//! Every kernel has a `*_threads` variant taking an explicit fan-out
+//! (`0` = ambient rayon fan-out, `1` = force serial, `n` = advisory `n`
+//! shards); the plain names are ambient-fan-out conveniences. Inputs
+//! below [`PAR_MIN_LEN`] always run inline — the fork overhead of the
+//! scoped-thread shim exceeds the work there.
 
-/// Dot product.
+/// Elements per reduction chunk. 4096 f64s = 32 KiB, half a typical L1 —
+/// small enough that a chunk's serial reduction stays cache-resident,
+/// large enough that the pairwise tree over partials is negligible.
+pub const REDUCTION_CHUNK: usize = 4096;
+
+/// Inputs shorter than this run serially even when a fan-out is allowed:
+/// spawning scoped threads costs more than reducing ~16 chunks.
+pub const PAR_MIN_LEN: usize = 1 << 16;
+
+/// Effective fan-out for a kernel: `threads` if nonzero, else the ambient
+/// rayon fan-out (pool caps installed by callers apply).
 #[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
+fn fanout(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+}
+
+/// Combine partials with a fixed-shape pairwise tree (split at `len/2`).
+/// The shape depends only on `p.len()`, never on the thread count.
+fn pairwise_sum(p: &[f64]) -> f64 {
+    match p.len() {
+        0 => 0.0,
+        1 => p[0],
+        2 => p[0] + p[1],
+        n => {
+            let mid = n / 2;
+            pairwise_sum(&p[..mid]) + pairwise_sum(&p[mid..])
+        }
+    }
+}
+
+/// Fill `partials[ci]` with `reduce_chunk(lo..hi)` for every
+/// [`REDUCTION_CHUNK`]-sized chunk of `0..n`, fanning out to `threads`
+/// when the input is large enough. The chunk layout — and therefore every
+/// partial — is identical on the serial and parallel paths.
+fn chunk_partials<F>(n: usize, threads: usize, reduce_chunk: F) -> Vec<f64>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let nchunks = n.div_ceil(REDUCTION_CHUNK).max(1);
+    let mut partials = vec![0.0f64; nchunks];
+    if n >= PAR_MIN_LEN && fanout(threads) > 1 {
+        use rayon::prelude::*;
+        let mut run = || {
+            partials
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(1)
+                .for_each(|(ci, p)| {
+                    let lo = ci * REDUCTION_CHUNK;
+                    let hi = (lo + REDUCTION_CHUNK).min(n);
+                    *p = reduce_chunk(lo, hi);
+                });
+        };
+        if threads == 0 {
+            run();
+        } else {
+            advisory_pool(threads).install(run);
+        }
+    } else {
+        for (ci, p) in partials.iter_mut().enumerate() {
+            let lo = ci * REDUCTION_CHUNK;
+            let hi = (lo + REDUCTION_CHUNK).min(n);
+            *p = reduce_chunk(lo, hi);
+        }
+    }
+    partials
+}
+
+/// An advisory pool capping the shim's fan-out at `threads`.
+fn advisory_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("advisory thread pool")
+}
+
+/// Run `f` under an advisory fan-out cap: `threads == 0` leaves the
+/// ambient pool untouched, any other value caps every parallel kernel
+/// invoked inside `f` (including nested [`rayon::join`] forks) at
+/// `threads` shards. Solvers call this once at entry so their inner
+/// vecops/SpMV calls all follow one knob.
+pub fn with_fanout<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    if threads == 0 {
+        f()
+    } else {
+        advisory_pool(threads).install(f)
+    }
+}
+
+/// Run an elementwise kernel over `y` in disjoint [`REDUCTION_CHUNK`]
+/// slices, honoring the `threads` knob. `f(base, chunk)` gets the global
+/// offset of its chunk. Elementwise maps write disjoint ranges, so they
+/// are bit-identical at any fan-out by construction.
+fn elementwise<F>(y: &mut [f64], threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let n = y.len();
+    if n >= PAR_MIN_LEN && fanout(threads) > 1 {
+        use rayon::prelude::*;
+        let mut chunks: Vec<&mut [f64]> = y.chunks_mut(REDUCTION_CHUNK).collect();
+        let run = |chunks: &mut Vec<&mut [f64]>| {
+            chunks
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(1)
+                .for_each(|(ci, ch)| f(ci * REDUCTION_CHUNK, ch));
+        };
+        if threads == 0 {
+            run(&mut chunks);
+        } else {
+            advisory_pool(threads).install(|| run(&mut chunks));
+        }
+    } else {
+        f(0, y);
+    }
+}
+
+/// Deterministic chunked-pairwise reduction over an index space: cut
+/// `0..n` into [`REDUCTION_CHUNK`] chunks, reduce each with
+/// `reduce_chunk(lo, hi)`, combine the partials with the fixed pairwise
+/// tree. The result is a pure function of `(n, reduce_chunk)` — the
+/// `threads` knob (0 = ambient, 1 = serial, n = advisory shards) only
+/// affects speed. This is the building block behind `dot`/`norm`/`sum`
+/// and the Laplacian's edge-wise Rayleigh quotient.
+pub fn chunked_reduce<F>(n: usize, threads: usize, reduce_chunk: F) -> f64
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    if n == 0 {
+        return 0.0;
+    }
+    if n <= REDUCTION_CHUNK {
+        return reduce_chunk(0, n);
+    }
+    pairwise_sum(&chunk_partials(n, threads, reduce_chunk))
+}
+
+/// Dot product over one chunk; plain slice loop, auto-vectorized.
+#[inline]
+fn dot_chunk(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Euclidean norm.
+/// Dot product (deterministic chunked-pairwise; ambient fan-out).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    dot_threads(a, b, 0)
+}
+
+/// [`dot`] with an explicit fan-out. The value is a pure function of
+/// `(a, b)` — identical for every `threads`.
+pub fn dot_threads(a: &[f64], b: &[f64], threads: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    chunked_reduce(a.len(), threads, |lo, hi| dot_chunk(&a[lo..hi], &b[lo..hi]))
+}
+
+/// Euclidean norm (deterministic chunked-pairwise; ambient fan-out).
 #[inline]
 pub fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+    norm_threads(a, 0)
 }
 
-/// `y += alpha * x`.
+/// [`norm`] with an explicit fan-out.
+#[inline]
+pub fn norm_threads(a: &[f64], threads: usize) -> f64 {
+    dot_threads(a, a, threads).sqrt()
+}
+
+/// Sum of all elements (deterministic chunked-pairwise; ambient fan-out).
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    sum_threads(a, 0)
+}
+
+/// [`sum`] with an explicit fan-out.
+pub fn sum_threads(a: &[f64], threads: usize) -> f64 {
+    chunked_reduce(a.len(), threads, |lo, hi| a[lo..hi].iter().sum())
+}
+
+/// `y += alpha * x` (elementwise; ambient fan-out).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    axpy_threads(alpha, x, y, 0);
 }
 
-/// `x *= alpha`.
+/// [`axpy`] with an explicit fan-out.
+pub fn axpy_threads(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
+    debug_assert_eq!(x.len(), y.len());
+    elementwise(y, threads, |base, ys| {
+        for (i, yi) in ys.iter_mut().enumerate() {
+            *yi += alpha * x[base + i];
+        }
+    });
+}
+
+/// `x *= alpha` (elementwise; ambient fan-out).
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x {
-        *xi *= alpha;
-    }
+    scale_threads(alpha, x, 0);
 }
 
-/// Normalize `x` to unit norm; returns the original norm (0 leaves `x`
-/// untouched).
+/// [`scale`] with an explicit fan-out.
+pub fn scale_threads(alpha: f64, x: &mut [f64], threads: usize) {
+    elementwise(x, threads, |_, xs| {
+        for xi in xs {
+            *xi *= alpha;
+        }
+    });
+}
+
+/// Normalize `x` to unit norm.
+///
+/// Always returns the **pre-scale** Euclidean norm of `x`, whatever its
+/// value. `x` is rescaled only when that norm is a positive *normal*
+/// float: a zero vector is left untouched (returning `0.0`), and a vector
+/// whose norm underflows to a denormal is also left untouched (dividing
+/// by a denormal would overflow every component to ±inf) — callers that
+/// need a direction from such a vector should rescale it first.
+#[inline]
 pub fn normalize(x: &mut [f64]) -> f64 {
-    let n = norm(x);
-    if n > 0.0 {
-        scale(1.0 / n, x);
+    normalize_threads(x, 0)
+}
+
+/// [`normalize`] with an explicit fan-out.
+pub fn normalize_threads(x: &mut [f64], threads: usize) -> f64 {
+    let n = norm_threads(x, threads);
+    if n.is_normal() && n > 0.0 {
+        scale_threads(1.0 / n, x, threads);
     }
     n
 }
 
 /// Remove the component of `x` along (unit or non-unit) `q`:
 /// `x -= (x·q / q·q) q`.
+///
+/// Skips (leaves `x` untouched) when `q·q` underflows to zero or to a
+/// denormal: a zero `q` spans nothing to project out, and dividing by a
+/// denormal `q·q` overflows the coefficient to ±inf and would destroy
+/// `x`. The skip threshold is `f64::MIN_POSITIVE` (smallest normal).
+#[inline]
 pub fn orthogonalize_against(x: &mut [f64], q: &[f64]) {
-    let qq = dot(q, q);
-    if qq > 0.0 {
-        let coeff = dot(x, q) / qq;
-        axpy(-coeff, q, x);
+    orthogonalize_against_threads(x, q, 0);
+}
+
+/// [`orthogonalize_against`] with an explicit fan-out.
+pub fn orthogonalize_against_threads(x: &mut [f64], q: &[f64], threads: usize) {
+    let qq = dot_threads(q, q, threads);
+    if qq >= f64::MIN_POSITIVE {
+        let coeff = dot_threads(x, q, threads) / qq;
+        axpy_threads(-coeff, q, x, threads);
     }
 }
 
 /// Remove the mean of `x` (orthogonalize against the constant vector, the
 /// Laplacian's null space).
+#[inline]
 pub fn deflate_constant(x: &mut [f64]) {
+    deflate_constant_threads(x, 0);
+}
+
+/// [`deflate_constant`] with an explicit fan-out.
+pub fn deflate_constant_threads(x: &mut [f64], threads: usize) {
     let n = x.len();
     if n == 0 {
         return;
     }
-    let mean = x.iter().sum::<f64>() / n as f64;
-    for xi in x {
-        *xi -= mean;
-    }
+    let mean = sum_threads(x, threads) / n as f64;
+    elementwise(x, threads, |_, xs| {
+        for xi in xs {
+            *xi -= mean;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -97,6 +338,24 @@ mod tests {
     }
 
     #[test]
+    fn normalize_zero_and_denormal_left_untouched() {
+        // Zero vector: reports norm 0, untouched.
+        let mut z = vec![0.0; 5];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0; 5]);
+        // Denormal vector: the norm underflows below the smallest normal;
+        // the reported value is the true pre-scale norm and the vector is
+        // left untouched instead of overflowing to ±inf.
+        let d = f64::MIN_POSITIVE / 4.0; // subnormal after squaring
+        let mut x = vec![d * 1e-20, -d * 1e-20];
+        let before = x.clone();
+        let n = normalize(&mut x);
+        assert!(n < f64::MIN_POSITIVE, "norm {n} should be denormal/zero");
+        assert_eq!(x, before, "denormal vector must not be rescaled");
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn orthogonalization() {
         let q = vec![1.0, 1.0];
         let mut x = vec![2.0, 0.0];
@@ -105,9 +364,98 @@ mod tests {
     }
 
     #[test]
+    fn orthogonalize_against_zero_vector_is_a_noop() {
+        let q = vec![0.0; 4];
+        let mut x = vec![1.0, -2.0, 3.0, -4.0];
+        let before = x.clone();
+        orthogonalize_against(&mut x, &q);
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn orthogonalize_against_denormal_vector_skips() {
+        // q·q underflows to a denormal (or zero); dividing by it would
+        // overflow the coefficient — the kernel must skip instead.
+        let tiny = 1e-200; // tiny^2 = 1e-400 underflows to 0
+        let q = vec![tiny, tiny];
+        let mut x = vec![5.0, -7.0];
+        let before = x.clone();
+        orthogonalize_against(&mut x, &q);
+        assert_eq!(x, before);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
     fn deflation_removes_mean() {
         let mut x = vec![1.0, 2.0, 3.0, 6.0];
         deflate_constant(&mut x);
         assert!(x.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_dot_close_to_serial_and_thread_invariant() {
+        // > REDUCTION_CHUNK so the pairwise tree actually engages.
+        let n = 3 * REDUCTION_CHUNK + 917;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 101) as f64 / 17.0 - 2.5)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53) % 97) as f64 / 13.0 - 3.5)
+            .collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let chunked = dot(&a, &b);
+        assert!(
+            (chunked - serial).abs() <= 1e-12 * serial.abs().max(1.0),
+            "chunked {chunked} vs serial {serial}"
+        );
+        // Bit-identical across explicit fan-outs.
+        for t in [1usize, 2, 3, 8] {
+            assert_eq!(
+                dot_threads(&a, &b, t).to_bits(),
+                chunked.to_bits(),
+                "dot differs at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_and_deflate_thread_invariant() {
+        let n = 2 * PAR_MIN_LEN + 311;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 29) % 113) as f64 / 7.0 - 8.0)
+            .collect();
+        let s1 = sum_threads(&x, 1);
+        for t in [2usize, 5, 8] {
+            assert_eq!(sum_threads(&x, t).to_bits(), s1.to_bits());
+        }
+        let mut a = x.clone();
+        let mut b = x.clone();
+        deflate_constant_threads(&mut a, 1);
+        deflate_constant_threads(&mut b, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn axpy_scale_thread_invariant_on_large_vectors() {
+        let n = PAR_MIN_LEN + 1234;
+        let x: Vec<f64> = (0..n).map(|i| (i % 31) as f64 * 0.25 - 3.0).collect();
+        let mut y1: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.5).collect();
+        let mut y8 = y1.clone();
+        axpy_threads(0.37, &x, &mut y1, 1);
+        axpy_threads(0.37, &x, &mut y8, 8);
+        assert_eq!(y1, y8);
+        scale_threads(1.0 / 3.0, &mut y1, 1);
+        scale_threads(1.0 / 3.0, &mut y8, 8);
+        assert_eq!(y1, y8);
+    }
+
+    #[test]
+    fn pairwise_tree_shape_is_fixed() {
+        // The tree splits at len/2 regardless of anything else; spot-check
+        // against a hand-computed shape for 5 partials:
+        // pairwise([a,b,c,d,e]) = (a+b) + (c + (d+e))
+        let p = [1e16, 1.0, -1e16, 1.0, 1.0];
+        let expect: f64 = (1e16 + 1.0) + (-1e16 + (1.0 + 1.0));
+        assert_eq!(pairwise_sum(&p).to_bits(), expect.to_bits());
     }
 }

@@ -81,7 +81,7 @@ proptest! {
         }
         let b: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + bseed) % 11) as f64 - 5.0).collect();
         let op = DenseOp(a);
-        let r = minres(&op, &b, &MinresOptions { max_iters: 200, tol: 1e-12, deflate: false });
+        let r = minres(&op, &b, &MinresOptions { max_iters: 200, tol: 1e-12, ..Default::default() });
         let mut ax = vec![0.0; n];
         op.apply(&r.x, &mut ax);
         let res: f64 = ax.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
@@ -117,6 +117,54 @@ proptest! {
             (r.lambda - l2).abs() <= 1e-5 * (1.0 + l2),
             "lanczos {} vs dense {}", r.lambda, l2
         );
+    }
+
+    #[test]
+    fn chunked_pairwise_dot_matches_serial(
+        // Span several REDUCTION_CHUNK boundaries so the pairwise tree has
+        // real depth; proptest shrinks toward the small end.
+        n in 1usize..(3 * mlgp_linalg::REDUCTION_CHUNK + 500),
+        seed in 0u64..1000,
+    ) {
+        use mlgp_graph::rng::seeded;
+        use rand::RngExt;
+        let mut rng = seeded(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let serial: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let chunked = mlgp_linalg::vecops::dot(&a, &b);
+        // The pairwise tree differs from left-to-right summation only in
+        // rounding; 1e-12 relative is generous for these magnitudes.
+        let scale = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum::<f64>().max(1.0);
+        prop_assert!(
+            (chunked - serial).abs() <= 1e-12 * scale,
+            "chunked {chunked} vs serial {serial} (n = {n})"
+        );
+    }
+
+    #[test]
+    fn chunked_pairwise_dot_bit_identical_across_threads(
+        n in 1usize..(2 * mlgp_linalg::REDUCTION_CHUNK + 500),
+        seed in 0u64..1000,
+    ) {
+        use mlgp_graph::rng::seeded;
+        use rand::RngExt;
+        let mut rng = seeded(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+        let reference = mlgp_linalg::vecops::dot_threads(&a, &b, 1);
+        for threads in [2usize, 3, 8] {
+            let t = mlgp_linalg::vecops::dot_threads(&a, &b, threads);
+            prop_assert_eq!(
+                t.to_bits(), reference.to_bits(),
+                "dot differs at {} threads: {} vs {}", threads, t, reference
+            );
+        }
+        // norm rides on dot; check it too.
+        let nref = mlgp_linalg::vecops::norm_threads(&a, 1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(mlgp_linalg::vecops::norm_threads(&a, threads).to_bits(), nref.to_bits());
+        }
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct NdConfig {
     /// Apply FM-style separator refinement after the minimum vertex cover
     /// (see [`crate::seprefine`]).
     pub refine_separator: bool,
+    /// Worker threads for the recursion forks and the bisector's kernels
+    /// (`0` = leave the bisector configs and ambient fan-out alone; any
+    /// other value overrides the nested `MlConfig`/`MsbConfig` knob and
+    /// caps the recursion's `rayon::join` fan-out). Orderings are
+    /// bit-identical at every value.
+    pub threads: usize,
 }
 
 impl Default for NdConfig {
@@ -46,6 +52,7 @@ impl Default for NdConfig {
             leaf_size: 120,
             parallel_threshold: 4096,
             refine_separator: true,
+            threads: 0,
         }
     }
 }
@@ -76,17 +83,37 @@ pub fn nested_dissection(g: &CsrGraph, cfg: &NdConfig) -> Permutation {
 /// counter. The multilevel bisector additionally records its own per-level
 /// coarsening/refinement events.
 pub fn nested_dissection_traced(g: &CsrGraph, cfg: &NdConfig, trace: &Trace) -> Permutation {
-    let mut seq = Vec::with_capacity(g.n());
-    order_rec(
-        g,
-        &(0..g.n() as Vid).collect::<Vec<_>>(),
-        cfg,
-        1,
-        &mut seq,
-        trace,
-    );
-    debug_assert_eq!(seq.len(), g.n());
-    Permutation::from_inverse(seq)
+    // A nonzero NdConfig::threads overrides the bisector's own knob and
+    // caps the recursion fan-out via an advisory pool around the run.
+    let mut cfg = *cfg;
+    if cfg.threads != 0 {
+        match &mut cfg.bisector {
+            NdBisector::Multilevel(ml) => ml.threads = cfg.threads,
+            NdBisector::Spectral(sc) => sc.threads = cfg.threads,
+        }
+    }
+    let run = |cfg: &NdConfig| {
+        let mut seq = Vec::with_capacity(g.n());
+        order_rec(
+            g,
+            &(0..g.n() as Vid).collect::<Vec<_>>(),
+            cfg,
+            1,
+            &mut seq,
+            trace,
+        );
+        debug_assert_eq!(seq.len(), g.n());
+        Permutation::from_inverse(seq)
+    };
+    if cfg.threads == 0 {
+        run(&cfg)
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.threads)
+            .build()
+            .expect("advisory thread pool")
+            .install(|| run(&cfg))
+    }
 }
 
 /// Multilevel nested dissection with default settings.

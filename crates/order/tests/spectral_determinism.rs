@@ -1,0 +1,197 @@
+//! Differential determinism suite for the parallel spectral stack.
+//!
+//! PR 2/3 established the determinism contract for the integer kernels
+//! (coarsening, uncoarsening); this suite extends it to floating point:
+//! with a fixed seed, the Lanczos Fiedler pair, the MSB multilevel
+//! Fiedler vector and bisection, spectral nested dissection, and the
+//! Chaco-ML baseline are **bit-identical** for every thread count. The
+//! guarantee rests on the deterministic chunked-pairwise reductions in
+//! `mlgp_linalg::vecops` (fixed 4k-element chunk layout + fixed-shape
+//! combination tree) and the row-sharded SpMV — see DESIGN.md §10.
+//!
+//! Mirrors `crates/part/tests/determinism.rs`: threads {1, 2, 8} plus an
+//! optional `MLGP_THREADS` from the CI thread-matrix job.
+
+use mlgp_graph::generators::{lshape, tri_mesh2d};
+use mlgp_linalg::{lanczos_fiedler, LanczosOptions, Laplacian};
+use mlgp_order::{nested_dissection, NdConfig};
+use mlgp_spectral::{chaco_ml_bisect, msb_bisect, msb_fiedler, ChacoMlConfig, MsbConfig};
+
+/// Thread counts under test: the ISSUE's {1, 2, 8} plus an optional
+/// `MLGP_THREADS` override from the CI matrix.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 8];
+    if let Ok(v) = std::env::var("MLGP_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t > 0 && !counts.contains(&t) {
+                counts.push(t);
+            }
+        }
+    }
+    counts
+}
+
+/// f64 vectors compared bit-for-bit (NaN-safe, no epsilon).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn lanczos_fiedler_is_bit_identical_across_thread_counts() {
+    // 3600 vertices: above DENSE_FIEDLER_LIMIT, so this is the real
+    // Lanczos path with reorthogonalization over the chunked reductions.
+    let g = tri_mesh2d(60, 60, 7);
+    let lap_ref = Laplacian::with_threads(&g, 1);
+    let opts = |threads| LanczosOptions {
+        seed: 0xfeed,
+        threads,
+        ..LanczosOptions::default()
+    };
+    let reference = lanczos_fiedler(&lap_ref, &opts(1));
+    for &t in &thread_counts()[1..] {
+        let lap = Laplacian::with_threads(&g, t);
+        let r = lanczos_fiedler(&lap, &opts(t));
+        assert_eq!(
+            r.lambda.to_bits(),
+            reference.lambda.to_bits(),
+            "lambda differs at {t} threads"
+        );
+        assert_eq!(
+            bits(&r.vector),
+            bits(&reference.vector),
+            "Fiedler vector differs at {t} threads"
+        );
+        assert_eq!(r.matvecs, reference.matvecs, "matvec count at {t} threads");
+    }
+}
+
+#[test]
+fn lanczos_above_parallel_spmv_threshold_is_thread_invariant() {
+    // ~25.6k vertices: the row-sharded SpMV branch actually engages
+    // (PAR_APPLY_THRESHOLD = 20k). Capped steps keep the test quick —
+    // convergence is irrelevant here, only bit-identity.
+    let g = tri_mesh2d(160, 160, 7);
+    let opts = |threads| LanczosOptions {
+        max_steps: 25,
+        max_restarts: 1,
+        tol: 1e-6,
+        seed: 0x5eed,
+        threads,
+    };
+    let lap_ref = Laplacian::with_threads(&g, 1);
+    let reference = lanczos_fiedler(&lap_ref, &opts(1));
+    for &t in &thread_counts()[1..] {
+        let lap = Laplacian::with_threads(&g, t);
+        let r = lanczos_fiedler(&lap, &opts(t));
+        assert_eq!(
+            bits(&r.vector),
+            bits(&reference.vector),
+            "sharded-SpMV Fiedler vector differs at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn rayleigh_quotient_is_bit_identical_across_thread_counts() {
+    let g = tri_mesh2d(90, 90, 3);
+    let x: Vec<f64> = (0..g.n())
+        .map(|i| ((i * 37) % 101) as f64 / 17.0 - 2.5)
+        .collect();
+    let reference = Laplacian::with_threads(&g, 1).rayleigh(&x);
+    for &t in &thread_counts()[1..] {
+        let rho = Laplacian::with_threads(&g, t).rayleigh(&x);
+        assert_eq!(
+            rho.to_bits(),
+            reference.to_bits(),
+            "rayleigh differs at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn msb_is_bit_identical_across_thread_counts() {
+    // The full multilevel spectral pipeline: RM coarsening, coarsest dense
+    // solve, per-level interpolation + RQI (inner MINRES) refinement.
+    let g = tri_mesh2d(40, 40, 9);
+    let cfg = |threads| MsbConfig {
+        threads,
+        ..MsbConfig::default()
+    };
+    let f_ref = msb_fiedler(&g, &cfg(1));
+    let (p_ref, c_ref) = msb_bisect(&g, &cfg(1));
+    for &t in &thread_counts()[1..] {
+        let f = msb_fiedler(&g, &cfg(t));
+        assert_eq!(
+            bits(&f),
+            bits(&f_ref),
+            "MSB Fiedler vector differs at {t} threads"
+        );
+        let (p, c) = msb_bisect(&g, &cfg(t));
+        assert_eq!(c, c_ref, "MSB cut differs at {t} threads");
+        assert_eq!(p, p_ref, "MSB bisection differs at {t} threads");
+    }
+}
+
+#[test]
+fn chaco_ml_is_bit_identical_across_thread_counts() {
+    // Chaco-ML routes through the parallel trial fan-out (spectral initial
+    // partitioning on the coarsest graph) plus KL refinement.
+    let g = tri_mesh2d(36, 36, 5);
+    let cfg = |threads| ChacoMlConfig {
+        threads,
+        ..ChacoMlConfig::default()
+    };
+    let reference = chaco_ml_bisect(&g, &cfg(1));
+    for &t in &thread_counts()[1..] {
+        let r = chaco_ml_bisect(&g, &cfg(t));
+        assert_eq!(r.1, reference.1, "Chaco-ML cut differs at {t} threads");
+        assert_eq!(
+            r.0, reference.0,
+            "Chaco-ML bisection differs at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn spectral_nested_dissection_is_bit_identical_across_thread_counts() {
+    // SND stacks every layer: recursive forks, MSB bisections (RQI +
+    // Lanczos fallback), separator extraction, MMD leaves. Use a small
+    // parallel_threshold so the recursion actually forks.
+    let g = lshape(40);
+    let cfg = |threads| NdConfig {
+        parallel_threshold: 256,
+        threads,
+        ..NdConfig::snd()
+    };
+    let reference = nested_dissection(&g, &cfg(1));
+    for &t in &thread_counts()[1..] {
+        let p = nested_dissection(&g, &cfg(t));
+        assert_eq!(
+            p.perm(),
+            reference.perm(),
+            "SND ordering differs at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn mlnd_with_parallel_trials_is_bit_identical_across_thread_counts() {
+    // MLND drives the multilevel bisector, whose initial partitioning now
+    // fans trials out in parallel; the ordering must stay a pure function
+    // of (graph, config, seed).
+    let g = tri_mesh2d(34, 30, 2);
+    let cfg = |threads| NdConfig {
+        parallel_threshold: 256,
+        threads,
+        ..NdConfig::mlnd()
+    };
+    let reference = nested_dissection(&g, &cfg(1));
+    for &t in &thread_counts()[1..] {
+        let p = nested_dissection(&g, &cfg(t));
+        assert_eq!(
+            p.perm(),
+            reference.perm(),
+            "MLND ordering differs at {t} threads"
+        );
+    }
+}

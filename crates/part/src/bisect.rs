@@ -206,6 +206,7 @@ pub(crate) fn bisect_targets_branch(
         cfg.initial,
         cfg.trials(),
         &mut rng,
+        cfg.threads,
         trace,
     );
     times.init = t.elapsed();

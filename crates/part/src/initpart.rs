@@ -4,11 +4,24 @@
 //! growing, picking the frontier vertex that increases the cut least), and
 //! spectral bisection. GGP/GGGP run several trials from random seeds and
 //! keep the best cut; the paper found GGGP with 5 trials consistently best.
+//!
+//! ## Trial fan-out
+//!
+//! Trials are embarrassingly parallel and run concurrently. Each trial `t`
+//! owns an independent RNG stream seeded by a SplitMix64 mix of `(base,
+//! t)`, where `base` is a **single** `next_u64` draw from the caller's RNG
+//! — so the shared RNG advances by exactly one draw regardless of the
+//! trial count, and trial `t` produces the same start vertex no matter how
+//! many siblings run or in what order they finish. The winner is selected
+//! by the strict total order *(balanced first, then lower cut, then lower
+//! trial index)*, which makes the reduction independent of evaluation
+//! order and therefore of the thread count.
 
 use crate::config::InitialPartitioning;
 use crate::metrics::edge_cut_bisection;
 use crate::refine::fm::BalanceTargets;
 use crate::refine::GainQueue;
+use mlgp_graph::rng::seeded;
 use mlgp_graph::{CsrGraph, Vid, Wgt};
 use mlgp_trace::Trace;
 use rand::{Rng, RngExt};
@@ -25,17 +38,20 @@ pub fn initial_partition<R: Rng>(
     trials: usize,
     rng: &mut R,
 ) -> Vec<u8> {
-    initial_partition_traced(g, bt, scheme, trials, rng, &Trace::disabled())
+    initial_partition_traced(g, bt, scheme, trials, rng, 0, &Trace::disabled())
 }
 
-/// [`initial_partition`] with telemetry: the spectral scheme records an
-/// `eigen` event per Fiedler solve.
+/// [`initial_partition`] with a worker-thread knob (`0` = ambient rayon
+/// fan-out; purely a speed knob, results are bit-identical at every value)
+/// and telemetry: each growing trial bumps the `init_trial` counter and
+/// the spectral scheme records an `eigen` event per Fiedler solve.
 pub fn initial_partition_traced<R: Rng>(
     g: &CsrGraph,
     bt: &BalanceTargets,
     scheme: InitialPartitioning,
     trials: usize,
     rng: &mut R,
+    threads: usize,
     trace: &Trace,
 ) -> Vec<u8> {
     let n = g.n();
@@ -45,38 +61,93 @@ pub fn initial_partition_traced<R: Rng>(
     if n == 1 {
         return vec![0];
     }
+    // One draw, whatever the trial count: downstream consumers of `rng`
+    // see the same stream whether we run 1 trial or 100 (and the spectral
+    // scheme burns the draw too, so switching schemes is also neutral).
+    let base = rng.next_u64();
     match scheme {
-        InitialPartitioning::GraphGrowing => best_of(g, bt, trials, rng, grow_bfs),
-        InitialPartitioning::GreedyGraphGrowing => best_of(g, bt, trials, rng, grow_greedy),
-        InitialPartitioning::Spectral => spectral_split(g, bt, trace),
+        InitialPartitioning::GraphGrowing => best_of(g, bt, trials, base, threads, trace, grow_bfs),
+        InitialPartitioning::GreedyGraphGrowing => {
+            best_of(g, bt, trials, base, threads, trace, grow_greedy)
+        }
+        InitialPartitioning::Spectral => spectral_split(g, bt, threads, trace),
     }
 }
 
-/// Run `grow` from `trials` random seeds, keep the (balanced-first) best.
-fn best_of<R: Rng>(
+/// Independent RNG stream for trial `t`: SplitMix64 mix of `(base, t)`,
+/// the same decorrelation step as `MlConfig::reseed`.
+fn trial_seed(base: u64, t: u64) -> u64 {
+    let mut z = base.wrapping_add((t.wrapping_add(1)).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One evaluated trial: the strict winner key `(balanced, cut, index)`
+/// plus the grown partition.
+struct Trial {
+    balanced: bool,
+    cut: Wgt,
+    index: usize,
+    part: Vec<u8>,
+}
+
+impl Trial {
+    /// Ascending winner key: balanced sorts first (`!balanced` = false),
+    /// then lower cut, then lower trial index.
+    fn key(&self) -> (bool, Wgt, usize) {
+        (!self.balanced, self.cut, self.index)
+    }
+
+    /// Strict total order — total ⇒ the parallel reduction commutes.
+    fn beats(&self, other: &Trial) -> bool {
+        self.key() < other.key()
+    }
+}
+
+/// Run `grow` from `trials` independent random starts (concurrently when
+/// the fan-out allows), keep the winner under the strict
+/// (balanced, cut, index) key.
+fn best_of(
     g: &CsrGraph,
     bt: &BalanceTargets,
     trials: usize,
-    rng: &mut R,
+    base: u64,
+    threads: usize,
+    trace: &Trace,
     grow: fn(&CsrGraph, &BalanceTargets, Vid) -> Vec<u8>,
 ) -> Vec<u8> {
     let n = g.n();
-    let mut best: Option<(bool, Wgt, Vec<u8>)> = None;
-    for _ in 0..trials.max(1) {
+    let trials = trials.max(1);
+    trace.count("init_trial", trials as u64);
+    let run_trial = |t: usize| -> Trial {
+        let mut rng = seeded(trial_seed(base, t as u64));
         let start = rng.random_range(0..n) as Vid;
         let part = grow(g, bt, start);
         let cut = edge_cut_bisection(g, &part);
-        let pw = part_weights(g, &part);
-        let balanced = bt.balanced(pw);
-        let better = match &best {
-            None => true,
-            Some((bb, bc, _)) => (balanced && !bb) || (balanced == *bb && cut < *bc),
-        };
-        if better {
-            best = Some((balanced, cut, part));
+        let balanced = bt.balanced(part_weights(g, &part));
+        Trial {
+            balanced,
+            cut,
+            index: t,
+            part,
         }
-    }
-    best.unwrap().2
+    };
+    let pick = |a: Option<Trial>, b: Option<Trial>| -> Option<Trial> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.beats(&x) { y } else { x }),
+            (x, None) | (None, x) => x,
+        }
+    };
+    let best = mlgp_linalg::with_fanout(threads, || {
+        use rayon::prelude::*;
+        (0..trials)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|t| Some(run_trial(t)))
+            .reduce(|| None, pick)
+    });
+    best.expect("at least one trial ran").part
 }
 
 fn part_weights(g: &CsrGraph, part: &[u8]) -> [Wgt; 2] {
@@ -186,8 +257,8 @@ fn grow_greedy(g: &CsrGraph, bt: &BalanceTargets, start: Vid) -> Vec<u8> {
 }
 
 /// Spectral bisection: split at the weighted median of the Fiedler vector.
-fn spectral_split(g: &CsrGraph, bt: &BalanceTargets, trace: &Trace) -> Vec<u8> {
-    let (_, fiedler) = mlgp_linalg::fiedler_vector_traced(g, 0x5bec, trace);
+fn spectral_split(g: &CsrGraph, bt: &BalanceTargets, threads: usize, trace: &Trace) -> Vec<u8> {
+    let (_, fiedler) = mlgp_linalg::fiedler_vector_threads_traced(g, 0x5bec, threads, trace);
     split_by_values(g, &fiedler, bt)
 }
 
@@ -283,7 +354,7 @@ mod tests {
         // Grid 20x10: spectral should cut close to the short dimension (10).
         let g = grid2d(20, 10);
         let bt = BalanceTargets::even(g.total_vwgt(), 1.03);
-        let part = spectral_split(&g, &bt, &Trace::disabled());
+        let part = spectral_split(&g, &bt, 0, &Trace::disabled());
         let cut = edge_cut_bisection(&g, &part);
         assert!(cut <= 14, "spectral cut {cut}");
     }
@@ -302,6 +373,74 @@ mod tests {
                 pw[0]
             );
         }
+    }
+
+    #[test]
+    fn downstream_rng_state_independent_of_trial_count() {
+        // The shared RNG must advance by exactly one draw no matter how
+        // many trials run (or which scheme runs): the next draw after the
+        // call must be identical across trial counts.
+        let g = grid2d(12, 12);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.05);
+        let mut draws = Vec::new();
+        for (scheme, trials) in [
+            (InitialPartitioning::GraphGrowing, 1),
+            (InitialPartitioning::GraphGrowing, 5),
+            (InitialPartitioning::GraphGrowing, 17),
+            (InitialPartitioning::GreedyGraphGrowing, 1),
+            (InitialPartitioning::GreedyGraphGrowing, 9),
+            (InitialPartitioning::Spectral, 1),
+        ] {
+            let mut rng = seeded(0xfeed);
+            let _ = initial_partition(&g, &bt, scheme, trials, &mut rng);
+            draws.push(rng.next_u64());
+        }
+        assert!(
+            draws.windows(2).all(|w| w[0] == w[1]),
+            "downstream draws differ across trial counts/schemes: {draws:?}"
+        );
+    }
+
+    #[test]
+    fn trial_fanout_thread_invariant() {
+        // The winner must be bit-identical at every fan-out.
+        let g = tri_mesh2d(14, 14, 6);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.05);
+        for scheme in [
+            InitialPartitioning::GraphGrowing,
+            InitialPartitioning::GreedyGraphGrowing,
+        ] {
+            let run = |threads: usize| {
+                let mut rng = seeded(0xabcd);
+                initial_partition_traced(&g, &bt, scheme, 7, &mut rng, threads, &Trace::disabled())
+            };
+            let reference = run(1);
+            for threads in [2usize, 3, 8] {
+                assert_eq!(run(threads), reference, "{scheme:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_results_independent_of_sibling_count() {
+        // Trial t draws from its own stream: the trial-0 result must be
+        // the same whether it runs alone or alongside 9 siblings. With a
+        // single trial the winner IS trial 0; with 10 trials the winner
+        // can only improve (strict key).
+        let g = grid2d(14, 14);
+        let bt = BalanceTargets::even(g.total_vwgt(), 1.05);
+        let cut_of = |trials: usize| {
+            let mut rng = seeded(99);
+            let p = initial_partition(
+                &g,
+                &bt,
+                InitialPartitioning::GreedyGraphGrowing,
+                trials,
+                &mut rng,
+            );
+            edge_cut_bisection(&g, &p)
+        };
+        assert!(cut_of(10) <= cut_of(1), "more trials must not hurt");
     }
 
     #[test]
