@@ -134,6 +134,7 @@ impl BenchOpts {
 
     /// Generate the (scaled) graph for a suite key.
     pub fn graph(&self, key: &str) -> (&'static SuiteEntry, CsrGraph) {
+        // LINT: allow(panic, CLI-facing lookup — an unknown suite key is a usage error reported by aborting the bench run)
         let e = entry(key).unwrap_or_else(|| panic!("unknown suite key {key}"));
         (e, e.generate_scaled(self.scale))
     }

@@ -71,6 +71,7 @@ pub fn sphere_bisect(g: &CsrGraph, points: &[Point], cfg: &SphereConfig) -> Vec<
             best = Some((cut, part));
         }
     }
+    // LINT: allow(panic, loop above runs trials.max(1) >= 1 iterations, so best is always Some)
     best.unwrap().1
 }
 

@@ -87,7 +87,7 @@ impl GraphBuilder {
         for i in 0..n {
             xadj[i + 1] += xadj[i];
         }
-        let total = *xadj.last().unwrap() as usize;
+        let total = xadj[n] as usize;
         let mut adjncy = vec![0 as Vid; total];
         let mut adjwgt = vec![0 as Wgt; total];
         let mut cursor: Vec<u32> = xadj[..n].to_vec();

@@ -49,6 +49,7 @@ impl CsrGraph {
             vwgt: vec![1; n],
             adjwgt: vec![1; nnz],
         };
+        // LINT: allow(panic, documented constructor contract — the `# Panics` section promises rejection of malformed CSR input)
         g.validate().expect("malformed CSR adjacency");
         g
     }
@@ -64,6 +65,7 @@ impl CsrGraph {
             vwgt,
             adjwgt,
         };
+        // LINT: allow(panic, documented constructor contract — the `# Panics` section promises rejection of malformed CSR input)
         g.validate().expect("malformed CSR graph");
         g
     }
@@ -232,7 +234,7 @@ impl CsrGraph {
         if self.adjwgt.len() != self.adjncy.len() {
             return Err("adjwgt length != adjncy length".into());
         }
-        if *self.xadj.last().unwrap() as usize != self.adjncy.len() {
+        if self.xadj[n] as usize != self.adjncy.len() {
             return Err("xadj[n] != adjncy length".into());
         }
         for w in &self.vwgt {

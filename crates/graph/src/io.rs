@@ -46,39 +46,42 @@ fn parse_err<T>(msg: impl Into<String>) -> Result<T, IoError> {
 }
 
 /// Read a Chaco/METIS format graph from a reader.
+///
+/// Parse errors name the offending 1-based physical line and token, e.g.
+/// `parse error: line 3: bad neighbor token `x``.
 pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     let reader = BufReader::new(r);
-    let mut lines = reader.lines().map(|l| l.map_err(IoError::from));
+    let mut lines = reader.lines().enumerate();
     // Header: n m [fmt]
-    let header = loop {
+    let (header_ln, header) = loop {
         match lines.next() {
             None => return parse_err("empty file"),
-            Some(line) => {
+            Some((i, line)) => {
                 let line = line?;
                 let t = line.trim();
                 if !t.is_empty() && !t.starts_with('%') && !t.starts_with('#') {
-                    break t.to_string();
+                    break (i + 1, t.to_string());
                 }
             }
         }
     };
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() < 2 {
-        return parse_err("header must be `n m [fmt]`");
+        return parse_err(format!("line {header_ln}: header must be `n m [fmt]`"));
     }
     let n: usize = head[0]
         .parse()
-        .map_err(|_| IoError::Parse("bad n".into()))?;
+        .map_err(|_| IoError::Parse(format!("line {header_ln}: bad n `{}`", head[0])))?;
     let m: usize = head[1]
         .parse()
-        .map_err(|_| IoError::Parse("bad m".into()))?;
+        .map_err(|_| IoError::Parse(format!("line {header_ln}: bad m `{}`", head[1])))?;
     let fmt = if head.len() > 2 { head[2] } else { "0" };
     let (has_vwgt, has_ewgt) = match fmt {
         "0" | "00" => (false, false),
         "1" | "01" => (false, true),
         "10" => (true, false),
         "11" => (true, true),
-        other => return parse_err(format!("unsupported fmt `{other}`")),
+        other => return parse_err(format!("line {header_ln}: unsupported fmt `{other}`")),
     };
     let mut b = GraphBuilder::with_capacity(n, m);
     let mut vwgt: Vec<Wgt> = Vec::with_capacity(if has_vwgt { n } else { 0 });
@@ -88,7 +91,8 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     let mut pending: std::collections::BTreeMap<(Vid, Vid), Vec<Wgt>> =
         std::collections::BTreeMap::new();
     let mut v = 0 as Vid;
-    for line in lines {
+    for (i, line) in lines {
+        let ln = i + 1;
         let line = line?;
         let t = line.trim();
         if t.starts_with('%') || t.starts_with('#') {
@@ -98,31 +102,37 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
             if t.is_empty() {
                 continue;
             }
-            return parse_err("more vertex lines than n");
+            return parse_err(format!("line {ln}: more vertex lines than n = {n}"));
         }
         let mut tok = t.split_whitespace();
         if has_vwgt {
             match tok.next() {
-                Some(w) => vwgt.push(
-                    w.parse()
-                        .map_err(|_| IoError::Parse(format!("bad vwgt on line of vertex {v}")))?,
-                ),
+                Some(w) => vwgt.push(w.parse().map_err(|_| {
+                    IoError::Parse(format!(
+                        "line {ln}: bad vertex weight `{w}` for vertex {}",
+                        v + 1
+                    ))
+                })?),
                 None => vwgt.push(1),
             }
         }
         while let Some(u) = tok.next() {
             let u: usize = u
                 .parse()
-                .map_err(|_| IoError::Parse(format!("bad neighbor `{u}`")))?;
+                .map_err(|_| IoError::Parse(format!("line {ln}: bad neighbor token `{u}`")))?;
             if u == 0 || u > n {
-                return parse_err(format!("neighbor {u} out of range 1..={n}"));
+                return parse_err(format!("line {ln}: neighbor {u} out of range 1..={n}"));
             }
             let w: Wgt = if has_ewgt {
                 match tok.next() {
                     Some(w) => w
                         .parse()
-                        .map_err(|_| IoError::Parse(format!("bad edge weight `{w}`")))?,
-                    None => return parse_err("missing edge weight"),
+                        .map_err(|_| IoError::Parse(format!("line {ln}: bad edge weight `{w}`")))?,
+                    None => {
+                        return parse_err(format!(
+                            "line {ln}: missing edge weight after neighbor {u}"
+                        ))
+                    }
                 }
             } else {
                 1
@@ -133,14 +143,14 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
             // (as a weight multiset, to tolerate parallel entries); the
             // higher endpoint's copy must cancel one pending weight.
             if u == v {
-                return parse_err(format!("self-loop on vertex {}", v + 1));
+                return parse_err(format!("line {ln}: self-loop on vertex {}", v + 1));
             } else if v < u {
                 pending.entry((v, u)).or_default().push(w);
             } else {
                 let slot = pending.get_mut(&(u, v));
                 let Some(ws) = slot.filter(|ws| !ws.is_empty()) else {
                     return parse_err(format!(
-                        "edge ({}, {}) appears on vertex {}'s line but not on vertex {}'s line",
+                        "line {ln}: edge ({}, {}) appears on vertex {}'s line but not on vertex {}'s line",
                         u + 1,
                         v + 1,
                         v + 1,
@@ -154,7 +164,7 @@ pub fn read_chaco<R: Read>(r: R) -> Result<CsrGraph, IoError> {
                     }
                     None => {
                         return parse_err(format!(
-                            "edge ({}, {}) has weight {} on vertex {}'s line but {} on vertex {}'s line",
+                            "line {ln}: edge ({}, {}) has weight {} on vertex {}'s line but {} on vertex {}'s line",
                             u + 1,
                             v + 1,
                             ws[0],
@@ -210,9 +220,9 @@ pub fn write_chaco<W: Write>(g: &CsrGraph, w: W) -> std::io::Result<()> {
 /// uses only the structure, as the paper does).
 pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     let reader = BufReader::new(r);
-    let mut lines = reader.lines();
+    let mut lines = reader.lines().enumerate();
     let banner = match lines.next() {
-        Some(l) => l?,
+        Some((_, l)) => l?,
         None => return parse_err("empty file"),
     };
     let lower = banner.to_ascii_lowercase();
@@ -237,31 +247,33 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
         other => return parse_err(format!("unknown symmetry `{other}`")),
     };
     let mut size_line = None;
-    for line in lines.by_ref() {
+    for (i, line) in lines.by_ref() {
         let line = line?;
         let t = line.trim().to_string();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        size_line = Some(t);
+        size_line = Some((i + 1, t));
         break;
     }
-    let Some(size_line) = size_line else {
+    let Some((size_ln, size_line)) = size_line else {
         return parse_err("missing size line");
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
         .map(|s| {
             s.parse()
-                .map_err(|_| IoError::Parse("bad size line".into()))
+                .map_err(|_| IoError::Parse(format!("line {size_ln}: bad size token `{s}`")))
         })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return parse_err("size line must be `rows cols nnz`");
+        return parse_err(format!("line {size_ln}: size line must be `rows cols nnz`"));
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
     if rows != cols {
-        return parse_err("matrix must be square to define a graph");
+        return parse_err(format!(
+            "line {size_ln}: matrix must be square to define a graph, got {rows}x{cols}"
+        ));
     }
     let mut b = GraphBuilder::with_capacity(rows, nnz);
     // For `general` storage the structurally-mirrored entries (i,j)/(j,i)
@@ -269,7 +281,8 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
     // each distinct one once.
     let mut general_pairs: Vec<(Vid, Vid)> = Vec::new();
     let mut seen = 0usize;
-    for line in lines {
+    for (li, line) in lines {
+        let ln = li + 1;
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
@@ -277,19 +290,21 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrGraph, IoError> {
         }
         let mut tok = t.split_whitespace();
         let (Some(i), Some(j)) = (tok.next(), tok.next()) else {
-            return parse_err("bad entry line");
+            return parse_err(format!("line {ln}: entry must be `row col [value]`"));
         };
         if !pattern && tok.next().is_none() {
-            return parse_err("missing value on entry line");
+            return parse_err(format!("line {ln}: missing value on entry line"));
         }
         let i: usize = i
             .parse()
-            .map_err(|_| IoError::Parse("bad row index".into()))?;
+            .map_err(|_| IoError::Parse(format!("line {ln}: bad row index `{i}`")))?;
         let j: usize = j
             .parse()
-            .map_err(|_| IoError::Parse("bad col index".into()))?;
+            .map_err(|_| IoError::Parse(format!("line {ln}: bad col index `{j}`")))?;
         if i == 0 || i > rows || j == 0 || j > rows {
-            return parse_err("index out of range");
+            return parse_err(format!(
+                "line {ln}: index ({i}, {j}) out of range 1..={rows}"
+            ));
         }
         if i != j {
             let (a, b_) = ((i - 1) as Vid, (j - 1) as Vid);
@@ -489,6 +504,55 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("(1, 2)"), "{msg}");
         assert!(msg.contains('7') && msg.contains('9'), "{msg}");
+    }
+
+    #[test]
+    fn chaco_errors_name_line_and_token() {
+        // Vertex 2's line is physical line 3 and carries a garbage token.
+        let text = "3 2\n2\nx 3\n2\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("`x`"), "{msg}");
+    }
+
+    #[test]
+    fn chaco_bad_header_names_line() {
+        // Header is pushed to physical line 3 by a comment and a blank line.
+        let text = "% comment\n\nx 2\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("`x`"), "{msg}");
+    }
+
+    #[test]
+    fn chaco_weight_errors_name_line() {
+        // Edge weight on vertex 2's line (physical line 3) is garbage.
+        let text = "2 1 1\n2 7\n1 oops\n";
+        let err = read_chaco(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("`oops`"), "{msg}");
+    }
+
+    #[test]
+    fn mm_errors_name_line_and_token() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\nq 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("`q`"), "{msg}");
+    }
+
+    #[test]
+    fn mm_bad_size_line_names_line() {
+        // Size line lands on physical line 3 behind a comment.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n2 2\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("rows cols nnz"), "{msg}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn induced_subgraph(g: &CsrGraph, select: &[bool]) -> Subgraph {
             .count();
         xadj[i + 1] = xadj[i] + deg as u32;
     }
-    let nnz = *xadj.last().unwrap() as usize;
+    let nnz = xadj[k] as usize;
     let mut adjncy = vec![0 as Vid; nnz];
     let mut adjwgt = vec![0; nnz];
     let mut vwgt = vec![0; k];

@@ -59,6 +59,7 @@ impl DenseSym {
 ///
 /// Returns eigenvalues in ascending order with matching eigenvectors:
 /// `vectors[k]` is the unit eigenvector of `values[k]`.
+#[derive(Debug)]
 pub struct EigenDecomposition {
     /// Eigenvalues, ascending.
     pub values: Vec<f64>,
@@ -127,7 +128,7 @@ pub fn jacobi_eigen(m: &DenseSym) -> EigenDecomposition {
         }
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[idx(i, i)].partial_cmp(&a[idx(j, j)]).unwrap());
+    order.sort_by(|&i, &j| a[idx(i, i)].total_cmp(&a[idx(j, j)]));
     let values: Vec<f64> = order.iter().map(|&i| a[idx(i, i)]).collect();
     let vectors: Vec<Vec<f64>> = order
         .iter()

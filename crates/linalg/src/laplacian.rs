@@ -25,6 +25,7 @@ pub trait SymOp {
 /// `spmv_calls` / `spmv_rows` telemetry counters (see
 /// [`Laplacian::spmv_calls`]) which the traced solver wrappers export as
 /// `spmv_*` trace counters.
+#[derive(Debug)]
 pub struct Laplacian<'a> {
     g: &'a CsrGraph,
     /// Cached weighted degrees (diagonal of `L`).
@@ -72,11 +73,13 @@ impl<'a> Laplacian<'a> {
 
     /// SpMV calls performed so far ([`SymOp::apply`] invocations).
     pub fn spmv_calls(&self) -> u64 {
+        // RELAXED: statistic only — never feeds partitioning decisions.
         self.spmv_calls.load(Ordering::Relaxed)
     }
 
     /// Total vertex rows computed across all SpMV calls so far.
     pub fn spmv_rows(&self) -> u64 {
+        // RELAXED: statistic only — never feeds partitioning decisions.
         self.spmv_rows.load(Ordering::Relaxed)
     }
 
@@ -127,6 +130,7 @@ impl SymOp for Laplacian<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.dim());
         debug_assert_eq!(y.len(), self.dim());
+        // RELAXED: statistic only — telemetry counters, no data dependency.
         self.spmv_calls.fetch_add(1, Ordering::Relaxed);
         self.spmv_rows
             .fetch_add(self.dim() as u64, Ordering::Relaxed);
@@ -150,6 +154,7 @@ impl SymOp for Laplacian<'_> {
             if self.threads == 0 {
                 shard(y);
             } else {
+                // LINT: allow(panic, pool construction fails only on thread-spawn resource exhaustion; no recovery is possible)
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(self.threads)
                     .build()
@@ -165,6 +170,7 @@ impl SymOp for Laplacian<'_> {
 }
 
 /// `A - sigma I` as an operator (for shift-and-invert style iterations).
+#[derive(Debug)]
 pub struct Shifted<'a, O: SymOp> {
     /// Base operator.
     pub op: &'a O,

@@ -103,6 +103,7 @@ where
 
 /// An advisory pool capping the shim's fan-out at `threads`.
 fn advisory_pool(threads: usize) -> rayon::ThreadPool {
+    // LINT: allow(panic, pool construction fails only on thread-spawn resource exhaustion; no recovery is possible)
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()

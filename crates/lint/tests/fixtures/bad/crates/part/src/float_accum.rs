@@ -1,0 +1,14 @@
+//! Fixture: D2 — raw float accumulation beside a parallel kernel.
+use rayon::prelude::*;
+
+pub fn scale(xs: &mut [f64]) {
+    xs.par_iter_mut().for_each(|x| *x *= 2.0);
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+//! Fixture: D1 — iterating a HashMap in a kernel crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[(u32, u32)]) -> u64 {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &(k, v) in xs {
+        m.insert(k, v);
+    }
+    let mut total = 0u64;
+    for (_k, v) in m.iter() {
+        total += *v as u64;
+    }
+    total
+}

@@ -1,0 +1,5 @@
+//! Fixture: META — suppression comments without a reason.
+pub fn head(xs: &[u32]) -> u32 {
+    // LINT: allow(panic)
+    *xs.first().unwrap()
+}

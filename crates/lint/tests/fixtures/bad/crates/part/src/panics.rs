@@ -1,0 +1,14 @@
+//! Fixture: R1 — panics in library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn pick(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("fixture panic");
+    }
+}

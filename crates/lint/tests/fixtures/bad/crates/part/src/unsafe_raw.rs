@@ -1,0 +1,4 @@
+//! Fixture: P1 — unsafe without a SAFETY proof.
+pub fn first(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

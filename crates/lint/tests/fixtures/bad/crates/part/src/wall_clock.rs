@@ -1,0 +1,8 @@
+//! Fixture: D3 — wall clock read inside a kernel crate.
+use std::time::Instant;
+
+pub fn timed<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}

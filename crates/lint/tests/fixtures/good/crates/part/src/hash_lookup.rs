@@ -1,0 +1,14 @@
+//! Fixture: D1-clean — hash containers used for lookup only.
+use std::collections::HashMap;
+
+pub fn index(xs: &[(u32, u32)]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &(k, v) in xs {
+        m.insert(k, v);
+    }
+    m
+}
+
+pub fn get(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,17 @@
+//! Fixture: R1-clean — panics only in tests or behind a justified allow.
+pub fn checked_head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn head(xs: &[u32]) -> u32 {
+    // LINT: allow(panic, fixture invariant — callers guarantee non-empty input)
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::checked_head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: P2-clean — Relaxed with a justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // RELAXED: statistic only — the counter feeds no decisions.
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,6 @@
+//! Fixture: P1-clean — unsafe with a SAFETY proof.
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

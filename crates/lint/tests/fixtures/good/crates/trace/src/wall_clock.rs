@@ -1,0 +1,6 @@
+//! Fixture: D3-clean — wall clock inside the telemetry crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -14,6 +14,7 @@ use crate::etree::elimination_tree;
 use mlgp_graph::{CsrGraph, Permutation, Vid};
 
 /// An LDLᵀ factorization of `P (L(G) + σI) Pᵀ`.
+#[derive(Debug)]
 pub struct LdlFactor {
     n: usize,
     /// Diagonal of `D`.

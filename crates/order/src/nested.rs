@@ -108,6 +108,7 @@ pub fn nested_dissection_traced(g: &CsrGraph, cfg: &NdConfig, trace: &Trace) -> 
     if cfg.threads == 0 {
         run(&cfg)
     } else {
+        // LINT: allow(panic, pool construction fails only on thread-spawn resource exhaustion; no recovery is possible)
         rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.threads)
             .build()

@@ -134,7 +134,9 @@ fn one_pass(
     }
     // Roll back past the best prefix.
     while log.len() > best_len {
-        let (v, other, pulled) = log.pop().unwrap();
+        let Some((v, other, pulled)) = log.pop() else {
+            break; // len > best_len >= 0 guarantees a popped entry
+        };
         let side = labels[v as usize];
         for u in pulled {
             labels[u as usize] = other;

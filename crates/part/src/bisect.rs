@@ -9,8 +9,8 @@ use crate::refine::fm::BalanceTargets;
 use crate::refine::{refine_level_stats, BisectState};
 use mlgp_graph::rng::seeded;
 use mlgp_graph::{CsrGraph, Wgt};
-use mlgp_trace::{Event, Trace, SPAN_COARSEN, SPAN_INIT, SPAN_PROJECT, SPAN_REFINE};
-use std::time::{Duration, Instant};
+use mlgp_trace::{Event, Stopwatch, Trace, SPAN_COARSEN, SPAN_INIT, SPAN_PROJECT, SPAN_REFINE};
+use std::time::Duration;
 
 /// Wall-clock time spent in each phase of a multilevel run (accumulated
 /// across all bisections for recursive k-way).
@@ -192,14 +192,14 @@ pub(crate) fn bisect_targets_branch(
     // Coarsening phase. The span durations fed to the trace are the very
     // same measurements stored in `PhaseTimes`, so the `--stats` tree and
     // the returned CTime/UTime split agree exactly.
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let h = coarsen_traced(g, cfg, &mut rng, trace);
     times.coarsen = t.elapsed();
     trace.add_time(SPAN_COARSEN, times.coarsen);
     record_coarsen_levels(&h, cfg, trace, branch);
 
     // Initial partitioning of the coarsest graph.
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let coarse_part = initial_partition_traced(
         h.coarsest(),
         &bt,
@@ -213,7 +213,7 @@ pub(crate) fn bisect_targets_branch(
     trace.add_time(SPAN_INIT, times.init);
 
     // Refine the coarsest-level partition, then uncoarsen level by level.
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let mut state = BisectState::with_threads(h.coarsest(), coarse_part, cfg.threads);
     refine_level_recorded(&mut state, &bt, cfg, n, trace, branch, h.levels() - 1);
     let d = t.elapsed();
@@ -222,13 +222,13 @@ pub(crate) fn bisect_targets_branch(
     let mut part = std::mem::take(&mut state.part);
     drop(state);
     for level in (0..h.levels() - 1).rev() {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let fine_part = h.project(level, &part);
         let mut state = BisectState::with_threads(&h.graphs[level], fine_part, cfg.threads);
         let d = t.elapsed();
         times.project += d;
         trace.add_time(SPAN_PROJECT, d);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         refine_level_recorded(&mut state, &bt, cfg, n, trace, branch, level);
         let d = t.elapsed();
         times.refine += d;

@@ -29,6 +29,7 @@ impl Hierarchy {
 
     /// The coarsest graph.
     pub fn coarsest(&self) -> &CsrGraph {
+        // LINT: allow(panic, hierarchy invariant — graphs always holds at least the input level)
         self.graphs.last().unwrap()
     }
 
@@ -67,6 +68,7 @@ pub fn coarsen_traced<R: Rng>(
     let mut cmaps: Vec<Vec<Vid>> = Vec::new();
     let mut cewgt = vec![0; g.n()];
     loop {
+        // LINT: allow(panic, graphs is seeded with the input level and only grows)
         let cur = graphs.last().unwrap();
         let n = cur.n();
         if n <= cfg.coarsen_to.max(2) || cur.m() == 0 {

@@ -223,6 +223,10 @@ pub fn kway_refine_stats(
                         for &t in &sh.touched {
                             sh.conn[t as usize] = 0;
                         }
+                        // RELAXED: proposal slots are single-writer — only
+                        // the shard owning `v` stores them this round — and
+                        // readers run in the resolve phase, after the rayon
+                        // fork/join barrier that publishes these stores.
                         match best {
                             Some((gain, _, to)) => {
                                 prop_gain[v].store(gain, Ordering::Relaxed);
@@ -246,6 +250,9 @@ pub fn kway_refine_stats(
             .enumerate()
             .with_min_len(1)
             .for_each(|(_, sh)| {
+                // RELAXED: the proposal slots are frozen during resolve —
+                // written in the propose phase, published by its fork/join
+                // barrier, and only read here — so plain loads suffice.
                 sh.winners.clear();
                 for v in sh.lo..sh.hi {
                     if prop_to[v].load(Ordering::Relaxed) == NONE {
@@ -278,6 +285,8 @@ pub fn kway_refine_stats(
         let mut buckets: Vec<Vec<(Vid, Wgt)>> = vec![Vec::new(); k];
         let mut winners_total = 0usize;
         for sh in &shards {
+            // RELAXED: serial section between the resolve and commit
+            // fan-outs; the barrier already ordered these stores.
             for &(v, gain) in &sh.winners {
                 buckets[prop_to[v as usize].load(Ordering::Relaxed) as usize].push((v, gain));
                 winners_total += 1;
@@ -294,6 +303,11 @@ pub fn kway_refine_stats(
                     bucket.sort_unstable_by(|&(va, ga), &(vb, gb)| {
                         (gb, rank_ro[vb as usize]).cmp(&(ga, rank_ro[va as usize]))
                     });
+                    // RELAXED: `budget[p]` is a single-owner slot — the
+                    // rayon task for bucket `p` is the only thread that
+                    // ever touches it, so the CAS cannot be contended and
+                    // carries no cross-thread edge; the accepted moves are
+                    // applied serially after the commit barrier.
                     bucket.retain(|&(v, _)| {
                         let vw = g.vwgt()[v as usize];
                         loop {
@@ -382,7 +396,7 @@ pub fn kway_partition_refined_traced(
         threads: cfg.threads,
         ..KwayRefineOptions::default()
     };
-    let t = std::time::Instant::now();
+    let t = mlgp_trace::Stopwatch::start();
     r.edge_cut = kway_refine_greedy_traced(g, &mut r.part, k, &opts, trace);
     let d = t.elapsed();
     trace.add_time(SPAN_REFINE, d);

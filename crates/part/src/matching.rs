@@ -216,6 +216,11 @@ pub fn compute_matching_threads<R: Rng>(
             .with_min_len(1)
             .for_each(|(_, sh)| {
                 let mut scanned = 0u64;
+                // RELAXED: phase-local single-writer slots. During the
+                // propose phase `partner` is read-only and `proposal[v]`
+                // is written only by the shard that owns `v`; the
+                // happens-before edge between rounds is the rayon
+                // fork/join barrier, not the atomics themselves.
                 sh.active.retain(|&v| {
                     if partner[v as usize].load(Ordering::Relaxed) != v {
                         proposal[v as usize].store(NONE, Ordering::Relaxed);
@@ -247,6 +252,11 @@ pub fn compute_matching_threads<R: Rng>(
             .enumerate()
             .with_min_len(1)
             .for_each(|(_, sh)| {
+                // RELAXED: the proposals read here were published by the
+                // propose phase's fork/join barrier. Each CAS targets a
+                // slot that only the unique lower endpoint of a mutual
+                // pair ever claims (so it cannot be contended), and the
+                // claimed partners are next read after the round barrier.
                 for &v in &sh.active {
                     let u = proposal[v as usize].load(Ordering::Relaxed);
                     if u == NONE || u <= v {
@@ -395,6 +405,10 @@ fn best_candidate(
 ) -> Option<Vid> {
     let mut best: Option<((f64, u32, u32), Vid)> = None;
     for (u, w) in g.adj(v) {
+        // RELAXED: `partner` is frozen during the propose phase (claims
+        // happen in the next phase, after a fork/join barrier), so this
+        // read needs no ordering; in the sequential sweep there is only
+        // one thread at all.
         if partner[u as usize].load(Ordering::Relaxed) != u {
             continue;
         }
@@ -418,6 +432,9 @@ fn sequential_sweep(
     score: &Scorer<'_>,
 ) {
     for &v in order {
+        // RELAXED: single-threaded finisher — it runs after the parallel
+        // rounds' final join barrier, so program order alone sequences
+        // every access to the `partner` slots.
         if partner[v as usize].load(Ordering::Relaxed) != v {
             continue;
         }

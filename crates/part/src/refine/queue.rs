@@ -10,7 +10,7 @@ use mlgp_graph::{Vid, Wgt};
 use std::collections::BinaryHeap;
 
 /// Max-heap of `(gain, vertex)` entries with lazy staleness checks.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct GainQueue {
     heap: BinaryHeap<(Wgt, Vid)>,
 }

@@ -12,6 +12,7 @@ use mlgp_graph::{CsrGraph, Vid, Wgt};
 use rayon::prelude::*;
 
 /// Mutable state of a 2-way partition under refinement.
+#[derive(Debug)]
 pub struct BisectState<'g> {
     g: &'g CsrGraph,
     /// Side (0/1) of each vertex.

@@ -44,6 +44,7 @@ pub fn fmt_f64(x: f64) -> String {
 }
 
 /// Incremental writer for one flat JSON object.
+#[derive(Debug)]
 pub struct JsonObj {
     buf: String,
     first: bool,
@@ -176,6 +177,7 @@ impl Value {
 /// or trailing garbage.
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
+        text,
         bytes: text.as_bytes(),
         pos: 0,
     };
@@ -189,6 +191,10 @@ pub fn parse(text: &str) -> Result<Value, String> {
 }
 
 struct Parser<'a> {
+    /// The input document; `bytes` is its byte view, and `pos` always
+    /// sits on a UTF-8 character boundary (it only ever advances past
+    /// single ASCII bytes or whole chars).
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -204,7 +210,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -245,7 +251,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -256,7 +262,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -279,7 +285,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -308,7 +314,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -347,11 +353,14 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8 because
-                    // it came from a &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. `pos` is always on a char
+                    // boundary (see the field invariant), so the checked
+                    // slice never fails on input that came from a `&str`.
+                    let c = self
+                        .text
+                        .get(self.pos..)
+                        .and_then(|rest| rest.chars().next())
+                        .ok_or_else(|| format!("invalid UTF-8 at byte {}", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -368,7 +377,11 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Every byte the scan accepted is ASCII, so the slice is a str.
+        let text = self
+            .text
+            .get(start..self.pos)
+            .ok_or_else(|| format!("invalid number at byte {start}"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))

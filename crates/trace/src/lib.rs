@@ -30,8 +30,41 @@
 pub mod json;
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Lock a collector mutex, recovering from poisoning: a panic in traced
+/// user code must not cascade into the observability layer, and every
+/// critical section below is a short field update that cannot leave the
+/// collector in a torn state.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The workspace's sole doorway to the wall clock.
+///
+/// The determinism contract (DESIGN.md §10–§11, lint rule `D3`) bans
+/// `Instant`/`SystemTime` from algorithm crates: timing must be
+/// observability-only, never an input to a partitioning decision. Kernel
+/// code that wants phase timings measures them through this type, keeping
+/// every wall-clock read inside `crates/trace` where the static-analysis
+/// gate can see that it only flows into telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
 
 /// Span path for the coarsening phase — the paper's **CTime**.
 pub const SPAN_COARSEN: &str = "coarsen";
@@ -269,7 +302,7 @@ pub struct SpanStat {
     pub calls: u64,
 }
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Inner {
     meta: Vec<(String, String)>,
     spans: BTreeMap<String, SpanStat>,
@@ -278,14 +311,14 @@ struct Inner {
 }
 
 /// The shared collector behind an enabled [`Trace`].
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Collector {
     inner: Mutex<Inner>,
 }
 
 /// A cheap, cloneable tracing handle. Disabled handles carry no collector
 /// and make every method a no-op.
-#[derive(Clone, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     sink: Option<Arc<Collector>>,
 }
@@ -328,7 +361,7 @@ impl Trace {
     /// (`/`-separated components form the summary tree).
     pub fn add_time(&self, path: &str, d: Duration) {
         if let Some(c) = &self.sink {
-            let mut inner = c.inner.lock().unwrap();
+            let mut inner = lock(&c.inner);
             let s = inner.spans.entry(path.to_string()).or_default();
             s.total += d;
             s.calls += 1;
@@ -340,7 +373,7 @@ impl Trace {
     pub fn record(&self, make: impl FnOnce() -> Event) {
         if let Some(c) = &self.sink {
             let ev = make();
-            c.inner.lock().unwrap().events.push(ev);
+            lock(&c.inner).events.push(ev);
         }
     }
 
@@ -350,19 +383,14 @@ impl Trace {
             return;
         }
         if let Some(c) = &self.sink {
-            *c.inner
-                .lock()
-                .unwrap()
-                .counters
-                .entry(name.to_string())
-                .or_default() += delta;
+            *lock(&c.inner).counters.entry(name.to_string()).or_default() += delta;
         }
     }
 
     /// Attach free-form metadata (duplicate keys keep the latest value).
     pub fn set_meta(&self, key: &str, value: impl std::fmt::Display) {
         if let Some(c) = &self.sink {
-            let mut inner = c.inner.lock().unwrap();
+            let mut inner = lock(&c.inner);
             let value = value.to_string();
             if let Some(slot) = inner.meta.iter_mut().find(|(k, _)| k == key) {
                 slot.1 = value;
@@ -375,14 +403,14 @@ impl Trace {
     /// Total accumulated time under `path`, if any was recorded.
     pub fn span_total(&self, path: &str) -> Option<Duration> {
         let c = self.sink.as_ref()?;
-        let inner = c.inner.lock().unwrap();
+        let inner = lock(&c.inner);
         inner.spans.get(path).map(|s| s.total)
     }
 
     /// Snapshot of all recorded events.
     pub fn events(&self) -> Vec<Event> {
         match &self.sink {
-            Some(c) => c.inner.lock().unwrap().events.clone(),
+            Some(c) => lock(&c.inner).events.clone(),
             None => Vec::new(),
         }
     }
@@ -390,14 +418,7 @@ impl Trace {
     /// Snapshot of one counter (0 if never counted).
     pub fn counter(&self, name: &str) -> u64 {
         match &self.sink {
-            Some(c) => c
-                .inner
-                .lock()
-                .unwrap()
-                .counters
-                .get(name)
-                .copied()
-                .unwrap_or(0),
+            Some(c) => lock(&c.inner).counters.get(name).copied().unwrap_or(0),
             None => 0,
         }
     }
@@ -407,7 +428,7 @@ impl Trace {
     /// when disabled.
     pub fn summary_tree(&self) -> Option<String> {
         let c = self.sink.as_ref()?;
-        let inner = c.inner.lock().unwrap();
+        let inner = lock(&c.inner);
         let mut out = String::new();
         for (k, v) in &inner.meta {
             out.push_str(&format!("# {k} = {v}\n"));
@@ -437,7 +458,7 @@ impl Trace {
     /// event. `None` when disabled.
     pub fn to_jsonl(&self) -> Option<String> {
         let c = self.sink.as_ref()?;
-        let inner = c.inner.lock().unwrap();
+        let inner = lock(&c.inner);
         let mut out = String::new();
         let mut meta = json::JsonObj::new();
         meta.field_str("type", "meta");
@@ -475,6 +496,7 @@ impl Trace {
 
 /// Token from [`Trace::start`]; `None` inside when the trace is disabled.
 #[must_use = "stop the timer with Trace::stop to record its elapsed time"]
+#[derive(Debug)]
 pub struct Timer(Option<Instant>);
 
 /// Span tree built from `/`-separated paths; parents aggregate children.

@@ -15,6 +15,7 @@
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle.
+#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
@@ -62,6 +63,7 @@ impl Criterion {
 }
 
 /// A group of related benchmarks sharing an id prefix.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
@@ -91,6 +93,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Timing handle passed to benchmark closures.
+#[derive(Debug)]
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u32,

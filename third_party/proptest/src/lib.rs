@@ -79,6 +79,12 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn new_value(&self, rng: &mut StdRng) -> O {
@@ -90,6 +96,12 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 pub struct FlatMap<S, F> {
     inner: S,
     f: F,
+}
+
+impl<S, F> std::fmt::Debug for FlatMap<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatMap").finish_non_exhaustive()
+    }
 }
 
 impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
@@ -190,6 +202,7 @@ pub mod collection {
     }
 
     /// See [`vec`].
+    #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -217,6 +230,7 @@ pub mod collection {
     }
 
     /// See [`btree_set`].
+    #[derive(Debug)]
     pub struct BTreeSetStrategy<S> {
         element: S,
         size: SizeRange,

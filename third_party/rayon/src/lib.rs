@@ -207,6 +207,7 @@ pub mod slice {
     }
 
     /// Parallel mutable slice iterator.
+    #[derive(Debug)]
     pub struct ParIterMut<'a, T> {
         slice: &'a mut [T],
     }
@@ -230,6 +231,7 @@ pub mod slice {
     }
 
     /// Enumerated parallel mutable slice iterator.
+    #[derive(Debug)]
     pub struct Enumerate<'a, T> {
         slice: &'a mut [T],
         min_len: usize,
@@ -293,6 +295,7 @@ pub mod slice {
     }
 
     /// Parallel shared-chunk iterator.
+    #[derive(Debug)]
     pub struct ParChunks<'a, T> {
         slice: &'a [T],
         size: usize,
@@ -327,6 +330,12 @@ pub mod slice {
         slice: &'a [T],
         size: usize,
         f: F,
+    }
+
+    impl<T, F> std::fmt::Debug for ChunksMap<'_, T, F> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ChunksMap").finish_non_exhaustive()
+        }
     }
 
     impl<T: Sync, U: Send, F: Fn(usize, &[T]) -> U + Sync> ChunksMap<'_, T, F> {
@@ -408,6 +417,7 @@ pub mod iter {
     }
 
     /// Parallel iterator over a `usize` range.
+    #[derive(Debug)]
     pub struct RangeParIter {
         range: Range<usize>,
         min_len: usize,
@@ -467,6 +477,12 @@ pub mod iter {
         f: F,
     }
 
+    impl<F> std::fmt::Debug for RangeMap<F> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RangeMap").finish_non_exhaustive()
+        }
+    }
+
     impl<F> RangeMap<F> {
         /// Sum all mapped values. Per-chunk partial sums are combined in
         /// chunk order (exact for the integer sums used in this workspace).
@@ -506,6 +522,12 @@ pub mod iter {
         iter: RangeParIter,
         identity: ID,
         fold_op: F,
+    }
+
+    impl<ID, F> std::fmt::Debug for RangeFold<ID, F> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RangeFold").finish_non_exhaustive()
+        }
     }
 
     impl<ID, F> RangeFold<ID, F> {
